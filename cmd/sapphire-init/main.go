@@ -1,0 +1,80 @@
+// Command sapphire-init runs Sapphire's endpoint initialization (Section
+// 5) against a SPARQL endpoint URL and reports what was cached:
+//
+//	sapphire-init -endpoint http://localhost:8890/sparql
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"sapphire/internal/bootstrap"
+	"sapphire/internal/endpoint"
+)
+
+func main() {
+	var (
+		url       = flag.String("endpoint", "", "SPARQL endpoint URL (required)")
+		lang      = flag.String("lang", "en", "literal language to cache")
+		maxLen    = flag.Int("max-literal-length", 80, "literal length cap")
+		pageSize  = flag.Int("page-size", 500, "LIMIT for paginated retrieval")
+		budget    = flag.Int("query-budget", 0, "max queries to issue (0 = unlimited)")
+		treeCap   = flag.Int("tree-capacity", 2000, "significant literals to index in the suffix tree")
+		timeout   = flag.Duration("timeout", 10*time.Minute, "overall initialization deadline")
+		warehouse = flag.Bool("warehouse", false, "use the warehousing-architecture queries Q9/Q10 (no timeout gymnastics)")
+		saveTo    = flag.String("save", "", "write the cache to this file for later reuse")
+	)
+	flag.Parse()
+	if *url == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	cfg := bootstrap.Config{
+		MaxLiteralLength:   *maxLen,
+		Language:           *lang,
+		PageSize:           *pageSize,
+		QueryBudget:        *budget,
+		SuffixTreeCapacity: *treeCap,
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+
+	log.Printf("initializing %s ...", *url)
+	initFn := bootstrap.Initialize
+	if *warehouse {
+		initFn = bootstrap.InitializeWarehouse
+	}
+	cache, err := initFn(ctx, endpoint.NewClient(*url), cfg)
+	if err != nil {
+		log.Fatalf("initialization failed: %v", err)
+	}
+	if *saveTo != "" {
+		f, err := os.Create(*saveTo)
+		if err != nil {
+			log.Fatalf("save: %v", err)
+		}
+		if err := cache.Save(f); err != nil {
+			log.Fatalf("save: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatalf("save: %v", err)
+		}
+		log.Printf("cache written to %s", *saveTo)
+	}
+	s := cache.Stats
+	fmt.Printf("endpoint:            %s\n", cache.Endpoint)
+	fmt.Printf("queries issued:      %d (literal %d, significance %d)\n",
+		s.QueriesIssued, s.LiteralQueries, s.SignificanceQueries)
+	fmt.Printf("timeouts survived:   %d\n", s.Timeouts)
+	fmt.Printf("predicates cached:   %d\n", s.PredicateCount)
+	fmt.Printf("literals cached:     %d (significant %d, residual %d in %d bins)\n",
+		s.LiteralCount, s.SignificantCount, s.ResidualCount, s.BinCount)
+	fmt.Printf("suffix tree:         %d nodes, ~%d KiB\n", s.TreeNodes, s.TreeBytes/1024)
+	fmt.Printf("used RDFS hierarchy: %v\n", s.UsedHierarchy)
+	fmt.Printf("budget exhausted:    %v\n", s.BudgetExhausted)
+	fmt.Printf("duration:            %v\n", s.Duration.Round(time.Millisecond))
+}

@@ -1,0 +1,76 @@
+// Command sapphire-server runs the Sapphire assistant as a JSON HTTP
+// service over one or more SPARQL endpoints — the "Sapphire Server" box
+// of Figure 1. Endpoints are initialized at startup (or loaded from a
+// saved cache); the API then serves the interactive loop:
+//
+//	GET  /complete?term=Kerou        → QCM auto-completions
+//	POST /query    (body: SPARQL)    → federated execution
+//	POST /suggest  (body: SPARQL)    → QSM suggestions with answer counts
+//	POST /run      (body: SPARQL)    → answers + suggestions in one call
+//	GET  /stats                      → initialization statistics
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"sapphire"
+	"sapphire/internal/endpoint"
+	"sapphire/internal/webapi"
+)
+
+type multiFlag []string
+
+func (m *multiFlag) String() string     { return strings.Join(*m, ",") }
+func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }
+
+func main() {
+	var endpoints, cachedEndpoints multiFlag
+	addr := flag.String("addr", ":8080", "listen address")
+	initTimeout := flag.Duration("init-timeout", 15*time.Minute, "per-endpoint initialization deadline")
+	flag.Var(&endpoints, "endpoint", "SPARQL endpoint URL to register (repeatable)")
+	flag.Var(&cachedEndpoints, "cached-endpoint", "URL=cachefile pair registering an endpoint from a saved cache (repeatable)")
+	flag.Parse()
+	if len(endpoints)+len(cachedEndpoints) == 0 {
+		log.Fatal("at least one -endpoint or -cached-endpoint is required")
+	}
+
+	client := sapphire.New(sapphire.Defaults())
+	for _, url := range endpoints {
+		ctx, cancel := context.WithTimeout(context.Background(), *initTimeout)
+		log.Printf("registering %s (full initialization) ...", url)
+		if err := client.RegisterHTTP(ctx, url); err != nil {
+			cancel()
+			log.Fatalf("register %s: %v", url, err)
+		}
+		cancel()
+		log.Printf("registered %s", url)
+	}
+	for _, pair := range cachedEndpoints {
+		url, file, ok := strings.Cut(pair, "=")
+		if !ok {
+			log.Fatalf("-cached-endpoint wants URL=cachefile, got %q", pair)
+		}
+		f, err := os.Open(file)
+		if err != nil {
+			log.Fatalf("open cache %s: %v", file, err)
+		}
+		err = client.RegisterEndpointWithCache(endpoint.NewClient(url), f)
+		f.Close()
+		if err != nil {
+			log.Fatalf("register cached %s: %v", url, err)
+		}
+		log.Printf("registered %s from cache %s", url, file)
+	}
+	st := client.Stats()
+	log.Printf("cache ready: %d predicates, %d literals (%d significant)",
+		st.PredicateCount, st.LiteralCount, st.SignificantCount)
+
+	log.Printf("Sapphire server on %s", *addr)
+	log.Fatal(http.ListenAndServe(*addr, webapi.Handler(client)))
+}

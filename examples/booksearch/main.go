@@ -1,0 +1,58 @@
+// Booksearch reproduces the running example of the paper (Figures 6 and
+// 7): the user asks for books by Jack Kerouac published by Viking Press,
+// but writes a query whose *structure* does not match the data — the
+// literals are attached to intermediate entities, not to the book
+// directly. The QSM's Steiner-tree relaxation finds the connecting
+// structure and suggests a corrected query.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"sapphire"
+	"sapphire/internal/datagen"
+	"sapphire/internal/endpoint"
+)
+
+func main() {
+	ctx := context.Background()
+	data := datagen.Generate(datagen.SmallConfig())
+	ep := endpoint.NewLocal("synthetic-dbpedia", data.Store, endpoint.Limits{})
+	client := sapphire.New(sapphire.Defaults())
+	if err := client.RegisterEndpoint(ctx, ep); err != nil {
+		log.Fatal(err)
+	}
+
+	// The user's mental model: a book has a writer and a publisher as
+	// direct string attributes. The data disagrees (author → entity →
+	// name), so this returns nothing.
+	wrong := `SELECT ?book WHERE {
+		?book <http://dbpedia.org/ontology/writer> "Jack Kerouac"@en .
+		?book <http://dbpedia.org/ontology/publisher> "Viking Press"@en .
+	}`
+	fmt.Println("user query (wrong structure):")
+	fmt.Println(wrong)
+
+	res, sugs, err := client.Run(ctx, wrong)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nanswers: %d\n", len(res.Rows))
+
+	for _, s := range sugs {
+		if s.Kind != sapphire.Relaxation {
+			continue
+		}
+		fmt.Println("\nQSM relaxation suggestion:")
+		fmt.Println(s.Query.String())
+		fmt.Printf("\n%s\n", s.Message())
+		fmt.Println("\nprefetched answers:")
+		for _, line := range s.Prefetched.Sorted() {
+			fmt.Println("  " + line)
+		}
+		return
+	}
+	log.Fatal("no relaxation suggestion produced")
+}

@@ -1,0 +1,78 @@
+// Qald walks three benchmark questions end to end the way a study
+// participant would: express the question as keyword triple patterns,
+// let Sapphire resolve them against the cached vocabulary, run, and take
+// suggestions when the first attempt misses. It prints every
+// intermediate query so the interactive loop is visible.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"sapphire/internal/bootstrap"
+	"sapphire/internal/datagen"
+	"sapphire/internal/endpoint"
+	"sapphire/internal/federation"
+	"sapphire/internal/operator"
+	"sapphire/internal/pum"
+	"sapphire/internal/qald"
+)
+
+func main() {
+	ctx := context.Background()
+	data := datagen.Generate(datagen.SmallConfig())
+	ep := endpoint.NewLocal("synthetic-dbpedia", data.Store, endpoint.Limits{})
+	cache, err := bootstrap.Initialize(ctx, ep, bootstrap.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	p := pum.New(cache, federation.New(ep), nil, pum.DefaultConfig())
+	op := operator.New(p)
+
+	wanted := map[string]bool{"E4": true, "D3": true, "D7": true}
+	for _, q := range qald.Questions() {
+		if !wanted[q.ID] {
+			continue
+		}
+		fmt.Printf("== %s (%s): %s\n", q.ID, q.Difficulty, q.Text)
+		built, err := op.BuildQuery(q.Plan)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("query as Sapphire resolves the user's keywords:")
+		fmt.Println(indent(built.String()))
+
+		out := op.Attempt(ctx, q)
+		if out == nil || len(out.Answers) == 0 {
+			fmt.Println("-> unanswered")
+			continue
+		}
+		gold, err := qald.GoldAnswers(data.Store, q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		verdictName := map[qald.Verdict]string{
+			qald.Right: "RIGHT", qald.Partial: "partial", qald.Wrong: "wrong",
+		}
+		fmt.Printf("-> answered in %d attempt(s) [altPred=%v altLit=%v relax=%v]: %s\n",
+			out.Attempts, out.UsedAltPredicate, out.UsedAltLiteral, out.UsedRelaxation,
+			verdictName[qald.Judge(out.Answers, gold)])
+		for _, v := range out.Answers.Values() {
+			fmt.Println("   " + v)
+		}
+		fmt.Println()
+	}
+}
+
+func indent(s string) string {
+	out := ""
+	start := 0
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == '\n' {
+			out += "    " + s[start:i] + "\n"
+			start = i + 1
+		}
+	}
+	return out
+}

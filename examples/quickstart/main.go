@@ -1,0 +1,65 @@
+// Quickstart: register an endpoint, auto-complete a term, run a query,
+// and apply a QSM suggestion — the full Sapphire loop in thirty lines.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"sapphire"
+	"sapphire/internal/datagen"
+	"sapphire/internal/endpoint"
+)
+
+func main() {
+	ctx := context.Background()
+
+	// A synthetic DBpedia-like endpoint (in production this would be
+	// sapphire.New(...).RegisterHTTP(ctx, "http://dbpedia.org/sparql")).
+	data := datagen.Generate(datagen.SmallConfig())
+	ep := endpoint.NewLocal("synthetic-dbpedia", data.Store, endpoint.Limits{})
+
+	client := sapphire.New(sapphire.Defaults())
+	if err := client.RegisterEndpoint(ctx, ep); err != nil {
+		log.Fatal(err)
+	}
+	st := client.Stats()
+	fmt.Printf("initialized: %d predicates, %d literals cached (%d queries, %d timeouts)\n\n",
+		st.PredicateCount, st.LiteralCount, st.QueriesIssued, st.Timeouts)
+
+	// 1. Auto-complete while typing (QCM).
+	fmt.Println("Complete(\"Kerou\"):")
+	for _, c := range client.Complete("Kerou") {
+		kind := "literal"
+		if c.IsPredicate {
+			kind = "predicate"
+		}
+		fmt.Printf("  %-30s (%s, fromTree=%v)\n", c.Text, kind, c.FromTree)
+	}
+
+	// 2. Run a query with a misspelled literal: zero answers, but the
+	// QSM knows what you meant.
+	query := `SELECT ?w WHERE {
+		?p <http://dbpedia.org/ontology/name> "Tom Hankss"@en .
+		?p <http://dbpedia.org/ontology/spouse> ?w .
+	}`
+	res, sugs, err := client.Run(ctx, query)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nquery returned %d answers; %d suggestions:\n", len(res.Rows), len(sugs))
+	for _, s := range sugs {
+		fmt.Printf("  [%s] %s\n", s.Kind, s.Message())
+	}
+
+	// 3. Accept the first suggestion: its answers were prefetched.
+	if len(sugs) > 0 && sugs[0].Prefetched != nil {
+		fmt.Println("\naccepted first suggestion; prefetched answers:")
+		for _, row := range sugs[0].Prefetched.Rows {
+			for v, t := range row {
+				fmt.Printf("  ?%s = %s\n", v, t)
+			}
+		}
+	}
+}

@@ -1,0 +1,215 @@
+package baselines
+
+import (
+	"context"
+	"testing"
+
+	"sapphire/internal/datagen"
+	"sapphire/internal/qald"
+)
+
+var sharedData *datagen.Dataset
+
+func data(t testing.TB) *datagen.Dataset {
+	t.Helper()
+	if sharedData == nil {
+		sharedData = datagen.Generate(datagen.SmallConfig())
+	}
+	return sharedData
+}
+
+func findQ(t testing.TB, id string) qald.Question {
+	t.Helper()
+	for _, q := range qald.Questions() {
+		if q.ID == id {
+			return q
+		}
+	}
+	t.Fatalf("question %s not found", id)
+	return qald.Question{}
+}
+
+func TestQAKiSFactoid(t *testing.T) {
+	d := data(t)
+	sys := NewQAKiS(d.Store)
+	// E4 "Tom Hanks's wife": single relation, pattern base covers "wife".
+	ans, ok := sys.Answer(context.Background(), findQ(t, "E4"))
+	if !ok {
+		t.Fatal("E4 not processed")
+	}
+	gold, _ := qald.GoldAnswers(d.Store, findQ(t, "E4"))
+	if qald.Judge(ans, gold) != qald.Right {
+		t.Errorf("E4 = %v", ans.Values())
+	}
+}
+
+func TestQAKiSPartialOnConstrainedQuestion(t *testing.T) {
+	d := data(t)
+	sys := NewQAKiS(d.Store)
+	// D3 "Books by Jack Kerouac published by Viking Press": QAKiS drops
+	// the publisher constraint and returns all Kerouac books → partial.
+	q := findQ(t, "D3")
+	ans, ok := sys.Answer(context.Background(), q)
+	if !ok {
+		t.Fatal("D3 not processed")
+	}
+	gold, _ := qald.GoldAnswers(d.Store, q)
+	if v := qald.Judge(ans, gold); v != qald.Partial {
+		t.Errorf("D3 verdict = %d (answers %v), want Partial", v, ans.Values())
+	}
+}
+
+func TestQAKiSSkipsNoRelationQuestions(t *testing.T) {
+	d := data(t)
+	sys := NewQAKiS(d.Store)
+	// D7 has no entity anchor.
+	if _, ok := sys.Answer(context.Background(), findQ(t, "D7")); ok {
+		t.Error("D7 should not be processed (no entity anchor)")
+	}
+}
+
+func TestKBQAOnlyFactoids(t *testing.T) {
+	d := data(t)
+	sys := NewKBQA(d.Store)
+	ctx := context.Background()
+	// E4 (wife) is in the template base.
+	ans, ok := sys.Answer(ctx, findQ(t, "E4"))
+	if !ok {
+		t.Fatal("E4 not processed by KBQA")
+	}
+	gold, _ := qald.GoldAnswers(d.Store, findQ(t, "E4"))
+	if qald.Judge(ans, gold) != qald.Right {
+		t.Errorf("E4 = %v", ans.Values())
+	}
+	// M2 is a join — not factoid.
+	if _, ok := sys.Answer(ctx, findQ(t, "M2")); ok {
+		t.Error("M2 processed by KBQA despite being non-factoid")
+	}
+	// E5 (children) factoid but not in the learned templates.
+	if _, ok := sys.Answer(ctx, findQ(t, "E5")); ok {
+		t.Error("E5 processed despite missing template")
+	}
+}
+
+func TestKBQAPrecisionIsPerfect(t *testing.T) {
+	d := data(t)
+	row, err := qald.Evaluate(context.Background(), NewKBQA(d.Store), qald.Questions(), d.Store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.Processed == 0 {
+		t.Fatal("KBQA processed nothing")
+	}
+	if row.Precision() < 0.99 {
+		t.Errorf("KBQA precision = %.2f, paper reports 1.0", row.Precision())
+	}
+	if row.Recall() > 0.5 {
+		t.Errorf("KBQA recall = %.2f, should be low (factoids only)", row.Recall())
+	}
+}
+
+func TestS4RightOnPlainJoins(t *testing.T) {
+	d := data(t)
+	sys := NewS4(d.Store)
+	// X7 "Books by Jack Kerouac": 2 patterns, no filter → exact.
+	q := findQ(t, "X7")
+	ans, ok := sys.Answer(context.Background(), q)
+	if !ok {
+		t.Fatal("X7 not processed")
+	}
+	gold, _ := qald.GoldAnswers(d.Store, q)
+	if qald.Judge(ans, gold) != qald.Right {
+		t.Errorf("X7 = %v", ans.Values())
+	}
+}
+
+func TestS4DropsFiltersAndAggregates(t *testing.T) {
+	d := data(t)
+	sys := NewS4(d.Store)
+	ctx := context.Background()
+	// X15 has a filter within the pattern limit: processed but the
+	// dropped filter yields a superset → partial.
+	q := findQ(t, "X15")
+	ans, ok := sys.Answer(ctx, q)
+	if !ok {
+		t.Fatal("X15 not processed")
+	}
+	gold, _ := qald.GoldAnswers(d.Store, q)
+	if v := qald.Judge(ans, gold); v != qald.Partial {
+		t.Errorf("X15 verdict = %d, want Partial (filter dropped)", v)
+	}
+	// X17 is an aggregate → unprocessed.
+	if _, ok := sys.Answer(ctx, findQ(t, "X17")); ok {
+		t.Error("X17 (COUNT) processed by S4")
+	}
+	// D2 has 3 patterns → outside its structure classes.
+	if _, ok := sys.Answer(ctx, findQ(t, "D2")); ok {
+		t.Error("D2 (3 patterns) processed by S4")
+	}
+}
+
+func TestSPARQLByENeedsExamples(t *testing.T) {
+	d := data(t)
+	sys := NewSPARQLByE(d.Store)
+	ctx := context.Background()
+	// E4 has a single answer → cannot provide two examples.
+	if _, ok := sys.Answer(ctx, findQ(t, "E4")); ok {
+		t.Error("E4 processed despite single gold answer")
+	}
+	// M8 has a literal answer → no shared structure.
+	if _, ok := sys.Answer(ctx, findQ(t, "M8")); ok {
+		t.Error("M8 processed despite literal answers")
+	}
+}
+
+func TestSPARQLByEInducesQueryWithFeedback(t *testing.T) {
+	d := data(t)
+	sys := NewSPARQLByE(d.Store)
+	// X7 "Books by Jack Kerouac" (3 answers): the first two examples
+	// share publisher=Viking, which feedback must remove.
+	q := findQ(t, "X7")
+	ans, ok := sys.Answer(context.Background(), q)
+	if !ok {
+		t.Fatal("X7 not processed")
+	}
+	gold, _ := qald.GoldAnswers(d.Store, q)
+	if v := qald.Judge(ans, gold); v != qald.Right {
+		t.Errorf("X7 verdict = %d, answers %v, gold %v", v, ans.Values(), gold.Values())
+	}
+}
+
+// TestTable1Shape is the aggregate sanity check: the ordering the paper
+// reports must hold on our reproduction — Sapphire's operator (tested in
+// internal/operator) tops everything; here we check the baselines'
+// relative shape: S4 > QAKiS ≥ KBQA > SPARQLByE on F1*, KBQA precision
+// 1.0, SPARQLByE lowest coverage.
+func TestTable1Shape(t *testing.T) {
+	d := data(t)
+	ctx := context.Background()
+	rows := map[string]qald.Row{}
+	for _, sys := range []qald.System{
+		NewQAKiS(d.Store), NewKBQA(d.Store), NewS4(d.Store), NewSPARQLByE(d.Store),
+	} {
+		row, err := qald.Evaluate(ctx, sys, qald.Questions(), d.Store)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rows[row.System] = row
+		t.Logf("%-10s pro=%2d ri=%2d par=%2d R=%.2f R*=%.2f P=%.2f P*=%.2f F1=%.2f F1*=%.2f",
+			row.System, row.Processed, row.Right, row.Partial,
+			row.Recall(), row.PartialRecall(), row.Precision(), row.PartialPrecision(),
+			row.F1(), row.F1Star())
+	}
+	if rows["SPARQLByE"].Processed >= rows["QAKiS"].Processed {
+		t.Error("SPARQLByE should process fewest questions")
+	}
+	if rows["S4"].F1Star() <= rows["SPARQLByE"].F1Star() {
+		t.Error("S4 should beat SPARQLByE on F1*")
+	}
+	if rows["QAKiS"].Partial == 0 {
+		t.Error("QAKiS should produce partial answers (dropped constraints)")
+	}
+	if rows["KBQA"].Precision() < 0.99 {
+		t.Error("KBQA precision should be 1.0")
+	}
+}

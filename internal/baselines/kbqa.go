@@ -1,0 +1,75 @@
+package baselines
+
+import (
+	"context"
+	"strings"
+
+	"sapphire/internal/qald"
+	"sapphire/internal/rdf"
+	"sapphire/internal/store"
+)
+
+// KBQA answers factoid questions only, using templates learned from a
+// large Q&A corpus. Its template base covers the frequent factoid
+// relations people actually ask about; anything outside it is not
+// processed. When a template fires, the mapping is precise, which is why
+// the paper reports KBQA at precision 1.0 with low recall.
+type KBQA struct {
+	Store *store.Store
+}
+
+// kbqaTemplates is the learned template → predicate map. Narrow on
+// purpose: QA corpora teach the head of the distribution.
+var kbqaTemplates = map[string]string{
+	"wife":       "spouse",
+	"capital":    "capital",
+	"currency":   "currency",
+	"time zone":  "timeZone",
+	"creator":    "creator",
+	"designer":   "designer",
+	"population": "populationTotal",
+	"author":     "author",
+}
+
+// NewKBQA returns the baseline.
+func NewKBQA(st *store.Store) *KBQA { return &KBQA{Store: st} }
+
+// Name implements qald.System.
+func (k *KBQA) Name() string { return "KBQA" }
+
+// Answer implements qald.System: factoid questions whose relation has a
+// learned template, answered by a single forward or backward lookup.
+func (k *KBQA) Answer(_ context.Context, q qald.Question) (qald.AnswerSet, bool) {
+	if !q.Factoid || q.EntityLiteral == "" {
+		return nil, false
+	}
+	local, ok := kbqaTemplates[strings.ToLower(q.Relation)]
+	if !ok {
+		return nil, false
+	}
+	pred := rdf.NewIRI(rdf.NSDBO + local)
+	entities := entitiesNamed(k.Store, q.EntityLiteral)
+	if len(entities) == 0 {
+		return nil, false
+	}
+	answers := make(qald.AnswerSet)
+	for _, e := range entities {
+		k.Store.Match(e, pred, rdf.Term{}, func(tr rdf.Triple) bool {
+			answers[tr.O.Value] = true
+			return true
+		})
+	}
+	if len(answers) == 0 {
+		// Backward direction for "author of X"-style templates.
+		for _, e := range entities {
+			k.Store.Match(rdf.Term{}, pred, e, func(tr rdf.Triple) bool {
+				answers[tr.S.Value] = true
+				return true
+			})
+		}
+	}
+	if len(answers) == 0 {
+		return nil, false
+	}
+	return answers, true
+}

@@ -1,0 +1,56 @@
+package baselines
+
+import (
+	"context"
+
+	"sapphire/internal/qald"
+	"sapphire/internal/sparql"
+	"sapphire/internal/store"
+)
+
+// S4 rewrites approximate structured queries against a type-level
+// summary graph. Per the paper's methodology, it is fed queries with the
+// correct predicates and literals (the authors used Sapphire to find
+// them) but is limited by its rewriting framework: no aggregates, no
+// solution modifiers or filters (they fall outside the graph-similarity
+// semantics and are dropped), and only compact structures
+// (entity-anchored chains and stars of at most two triple patterns, the
+// template classes its summary graph covers).
+type S4 struct {
+	Store *store.Store
+	// MaxPatterns is the largest BGP its rewriting handles.
+	MaxPatterns int
+}
+
+// NewS4 returns the baseline.
+func NewS4(st *store.Store) *S4 { return &S4{Store: st, MaxPatterns: 2} }
+
+// Name implements qald.System.
+func (s *S4) Name() string { return "S4" }
+
+// Answer implements qald.System.
+func (s *S4) Answer(_ context.Context, q qald.Question) (qald.AnswerSet, bool) {
+	parsed, err := sparql.Parse(q.Gold)
+	if err != nil {
+		return nil, false
+	}
+	if parsed.HasAggregates() {
+		return nil, false // outside the rewriting framework
+	}
+	if len(parsed.Where) > s.MaxPatterns {
+		return nil, false // structure class not covered by the summary graph
+	}
+	// Rewriting preserves the BGP (already correct here) but drops what
+	// it cannot express.
+	stripped := parsed.Clone()
+	stripped.Filters = nil
+	stripped.OrderBy = nil
+	stripped.Limit = -1
+	stripped.Offset = 0
+	stripped.Distinct = true
+	res, err := sparql.Eval(s.Store, stripped, sparql.Options{})
+	if err != nil || len(res.Rows) == 0 {
+		return nil, false
+	}
+	return qald.FromResults(res), true
+}

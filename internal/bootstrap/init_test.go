@@ -1,0 +1,245 @@
+package bootstrap
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"sapphire/internal/datagen"
+	"sapphire/internal/endpoint"
+	"sapphire/internal/rdf"
+	"sapphire/internal/store"
+)
+
+func initSmall(t testing.TB, limits endpoint.Limits, cfg Config) (*Cache, *endpoint.Local) {
+	t.Helper()
+	d := datagen.Generate(datagen.SmallConfig())
+	ep := endpoint.NewLocal("synthetic-dbpedia", d.Store, limits)
+	c, err := Initialize(context.Background(), ep, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, ep
+}
+
+func TestInitializeBasic(t *testing.T) {
+	c, _ := initSmall(t, endpoint.Limits{}, DefaultConfig())
+	if c.Stats.PredicateCount == 0 {
+		t.Fatal("no predicates cached")
+	}
+	if c.Stats.LiteralCount == 0 {
+		t.Fatal("no literals cached")
+	}
+	if !c.Stats.UsedHierarchy {
+		t.Error("dataset has a hierarchy; initialization should use it")
+	}
+	if c.Tree == nil || c.Bins == nil {
+		t.Fatal("cache indexes missing")
+	}
+	// All predicates are indexed in the tree (paper: predicates are few,
+	// index them all).
+	for _, p := range c.Predicates {
+		d := DisplayName(p)
+		if !c.InSuffixTree(d) {
+			t.Errorf("predicate display %q not in suffix tree", d)
+		}
+	}
+}
+
+func TestInitializeRespectsLengthCap(t *testing.T) {
+	c, _ := initSmall(t, endpoint.Limits{}, DefaultConfig())
+	for _, lex := range c.Literals() {
+		if len([]rune(lex)) >= 80 {
+			t.Errorf("cached literal exceeds cap: %q (%d runes)", lex, len([]rune(lex)))
+		}
+	}
+}
+
+func TestInitializeRespectsLanguage(t *testing.T) {
+	c, _ := initSmall(t, endpoint.Limits{}, DefaultConfig())
+	for _, lex := range c.Literals() {
+		term, ok := c.LiteralTerm(lex)
+		if !ok {
+			t.Fatalf("LiteralTerm(%q) missing", lex)
+		}
+		if term.Lang != "en" {
+			t.Errorf("cached non-English literal %q (lang %q)", lex, term.Lang)
+		}
+	}
+}
+
+func TestInitializeCachesKnownLiterals(t *testing.T) {
+	c, _ := initSmall(t, endpoint.Limits{}, DefaultConfig())
+	for _, want := range []string{"Jack Kerouac", "Viking Press", "Sydney", "Frank The Tank"} {
+		if _, ok := c.LiteralTerm(want); !ok {
+			t.Errorf("known literal %q not cached", want)
+		}
+	}
+}
+
+func TestInitializeSignificantLiterals(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.SuffixTreeCapacity = 50
+	c, _ := initSmall(t, endpoint.Limits{}, cfg)
+	if c.Stats.SignificantCount == 0 {
+		t.Fatal("no significant literals identified")
+	}
+	if c.Stats.SignificantCount > 50 {
+		t.Errorf("significant count %d exceeds capacity", c.Stats.SignificantCount)
+	}
+	// Country names are highly significant (many incoming country/
+	// birthPlace edges); they should be in the tree rather than bins.
+	found := false
+	for _, m := range c.Tree.Search("United States", 5) {
+		if m.Value == "United States" {
+			found = true
+		}
+	}
+	if !found {
+		// Australia etc. also acceptable; require at least one country.
+		for _, name := range []string{"Australia", "Canada", "India"} {
+			if len(c.Tree.Search(name, 1)) > 0 {
+				found = true
+				break
+			}
+		}
+	}
+	if !found {
+		t.Error("no high-significance country literal made it into the tree")
+	}
+}
+
+func TestInitializeResidualPartition(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.SuffixTreeCapacity = 10
+	c, _ := initSmall(t, endpoint.Limits{}, cfg)
+	// Residual + significant = all cached literals.
+	if got := c.Stats.ResidualCount + c.Stats.SignificantCount; got != c.Stats.LiteralCount {
+		t.Errorf("partition broken: residual %d + significant %d != literals %d",
+			c.Stats.ResidualCount, c.Stats.SignificantCount, c.Stats.LiteralCount)
+	}
+	if c.Stats.BinCount == 0 {
+		t.Error("no residual bins")
+	}
+}
+
+func TestInitializeWithTimeouts(t *testing.T) {
+	// Constrained endpoint: root-class queries time out, forcing descent
+	// into subclasses — the core Section 5 behaviour.
+	limits := endpoint.Limits{MaxIntermediateRows: 220}
+	c, ep := initSmall(t, limits, DefaultConfig())
+	if c.Stats.Timeouts == 0 {
+		t.Error("expected timeouts under a constrained endpoint")
+	}
+	if c.Stats.LiteralCount == 0 {
+		t.Error("descent failed to recover literals after timeouts")
+	}
+	if ep.Stats().Timeouts == 0 {
+		t.Error("endpoint saw no timeouts")
+	}
+	// Despite timeouts, the famous literals must still be cached via
+	// leaf classes.
+	if _, ok := c.LiteralTerm("Jack Kerouac"); !ok {
+		t.Error("literal lost to timeout: Jack Kerouac")
+	}
+}
+
+func TestInitializeQueryBudget(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.QueryBudget = 25
+	c, ep := initSmall(t, endpoint.Limits{}, cfg)
+	if !c.Stats.BudgetExhausted {
+		t.Error("budget should be exhausted")
+	}
+	if got := ep.Stats().Queries; got > 25 {
+		t.Errorf("endpoint served %d queries, budget was 25", got)
+	}
+	// Frequent predicates are prioritized, so some literals still cached.
+	if c.Stats.QueriesIssued > 25 {
+		t.Errorf("issued %d > budget", c.Stats.QueriesIssued)
+	}
+}
+
+func TestInitializeNoHierarchyFallback(t *testing.T) {
+	// A flat dataset without rdfs:subClassOf: Q3 types drive retrieval.
+	s := store.New()
+	typ := rdf.NewIRI(rdf.RDFType)
+	name := rdf.NewIRI("http://x/name")
+	for i := 0; i < 30; i++ {
+		subj := rdf.NewIRI(fmt.Sprintf("http://x/e%d", i))
+		s.MustAdd(rdf.NewTriple(subj, typ, rdf.NewIRI("http://x/Thing")))
+		s.MustAdd(rdf.NewTriple(subj, name, rdf.NewLangLiteral(fmt.Sprintf("entity %d", i), "en")))
+	}
+	ep := endpoint.NewLocal("flat", s, endpoint.Limits{})
+	c, err := Initialize(context.Background(), ep, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Stats.UsedHierarchy {
+		t.Error("flat dataset should not use hierarchy")
+	}
+	if c.Stats.LiteralCount != 30 {
+		t.Errorf("literals = %d, want 30", c.Stats.LiteralCount)
+	}
+}
+
+func TestInitializePagination(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.PageSize = 7 // force many pages
+	c, _ := initSmall(t, endpoint.Limits{}, cfg)
+	full, _ := initSmall(t, endpoint.Limits{}, DefaultConfig())
+	// Page size must not change what is cached.
+	if c.Stats.LiteralCount != full.Stats.LiteralCount {
+		t.Errorf("pagination changed literal count: %d vs %d",
+			c.Stats.LiteralCount, full.Stats.LiteralCount)
+	}
+	if c.Stats.LiteralQueries <= full.Stats.LiteralQueries {
+		t.Errorf("small pages should issue more queries: %d vs %d",
+			c.Stats.LiteralQueries, full.Stats.LiteralQueries)
+	}
+}
+
+func TestDisplayName(t *testing.T) {
+	cases := map[string]string{
+		rdf.NSDBO + "almaMater":     "alma mater",
+		rdf.NSDBO + "numberOfPages": "number of pages",
+		rdf.NSDBO + "name":          "name",
+		rdf.RDFSLabel:               "label",
+		rdf.RDFType:                 "type",
+		"plain":                     "plain",
+	}
+	for iri, want := range cases {
+		if got := DisplayName(rdf.NewIRI(iri)); got != want {
+			t.Errorf("DisplayName(%q) = %q, want %q", iri, got, want)
+		}
+	}
+}
+
+func TestPredicatesForRoundTrip(t *testing.T) {
+	c, _ := initSmall(t, endpoint.Limits{}, DefaultConfig())
+	preds := c.PredicatesFor("alma mater")
+	if len(preds) != 1 || preds[0].Value != rdf.NSDBO+"almaMater" {
+		t.Errorf("PredicatesFor(alma mater) = %v", preds)
+	}
+	if !c.IsPredicateDisplay("alma mater") {
+		t.Error("IsPredicateDisplay(alma mater) = false")
+	}
+	if c.IsPredicateDisplay("not a predicate") {
+		t.Error("IsPredicateDisplay(not a predicate) = true")
+	}
+}
+
+func TestWarehouseQueriesParse(t *testing.T) {
+	// Q9/Q10 are documented alternatives; they must at least parse and
+	// run against an unconstrained endpoint.
+	d := datagen.Generate(datagen.SmallConfig())
+	ep := endpoint.NewLocal("wh", d.Store, endpoint.Limits{})
+	for _, q := range []string{
+		QueryWarehouseLiterals("en", 80, 100, 0),
+		QueryWarehouseSignificant("en", 80, 100, 0),
+	} {
+		if _, err := ep.Query(context.Background(), q); err != nil {
+			t.Errorf("warehouse query failed: %v\n%s", err, q)
+		}
+	}
+}

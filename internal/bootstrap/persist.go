@@ -1,0 +1,118 @@
+package bootstrap
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"sapphire/internal/bins"
+	"sapphire/internal/rdf"
+	"sapphire/internal/suffixtree"
+)
+
+// The paper's initialization "happens only once for each endpoint" (17
+// hours for DBpedia), which only makes sense if the cache outlives the
+// server process. Save/Load serialize the cached data — predicates,
+// literals, and which strings are tree-resident — as JSON; the suffix
+// tree and bins are rebuilt on load (construction is linear and fast
+// compared to re-crawling the endpoint).
+
+// cacheFile is the on-disk representation.
+type cacheFile struct {
+	Version    int         `json:"version"`
+	Endpoint   string      `json:"endpoint"`
+	Predicates []savedTerm `json:"predicates"`
+	Literals   []savedLit  `json:"literals"`
+	Stats      Stats       `json:"stats"`
+}
+
+type savedTerm struct {
+	IRI string `json:"iri"`
+}
+
+type savedLit struct {
+	Value  string `json:"value"`
+	Lang   string `json:"lang,omitempty"`
+	Dtype  string `json:"datatype,omitempty"`
+	InTree bool   `json:"inTree,omitempty"`
+}
+
+const cacheFileVersion = 1
+
+// Save writes the cache to w.
+func (c *Cache) Save(w io.Writer) error {
+	cf := cacheFile{
+		Version:  cacheFileVersion,
+		Endpoint: c.Endpoint,
+		Stats:    c.Stats,
+	}
+	for _, p := range c.Predicates {
+		cf.Predicates = append(cf.Predicates, savedTerm{IRI: p.Value})
+	}
+	lexes := make([]string, 0, len(c.literalTerm))
+	for lex := range c.literalTerm {
+		lexes = append(lexes, lex)
+	}
+	sort.Strings(lexes)
+	for _, lex := range lexes {
+		t := c.literalTerm[lex]
+		cf.Literals = append(cf.Literals, savedLit{
+			Value:  t.Value,
+			Lang:   t.Lang,
+			Dtype:  t.Datatype,
+			InTree: c.inTree[lex],
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(cf)
+}
+
+// Load reads a cache previously written by Save and rebuilds the
+// indexes.
+func Load(r io.Reader) (*Cache, error) {
+	var cf cacheFile
+	if err := json.NewDecoder(r).Decode(&cf); err != nil {
+		return nil, fmt.Errorf("bootstrap: loading cache: %w", err)
+	}
+	if cf.Version != cacheFileVersion {
+		return nil, fmt.Errorf("bootstrap: unsupported cache version %d", cf.Version)
+	}
+	c := &Cache{
+		Endpoint:      cf.Endpoint,
+		Stats:         cf.Stats,
+		displayToPred: make(map[string][]rdf.Term),
+		literalTerm:   make(map[string]rdf.Term),
+		inTree:        make(map[string]bool),
+	}
+	var treeStrings []string
+	for _, st := range cf.Predicates {
+		p := rdf.NewIRI(st.IRI)
+		c.Predicates = append(c.Predicates, p)
+		d := DisplayName(p)
+		if len(c.displayToPred[d]) == 0 {
+			treeStrings = append(treeStrings, d)
+		}
+		c.displayToPred[d] = append(c.displayToPred[d], p)
+		c.inTree[d] = true
+	}
+	var residual []string
+	for _, sl := range cf.Literals {
+		t := rdf.Term{Kind: rdf.KindLiteral, Value: sl.Value, Lang: sl.Lang, Datatype: sl.Dtype}
+		c.literalTerm[sl.Value] = t
+		if sl.InTree {
+			c.inTree[sl.Value] = true
+			treeStrings = append(treeStrings, sl.Value)
+		} else {
+			residual = append(residual, sl.Value)
+		}
+	}
+	c.Tree = suffixtree.New(treeStrings)
+	sort.Strings(residual)
+	c.Bins = bins.New(residual)
+	c.Stats.TreeNodes = c.Tree.NodeCount()
+	c.Stats.TreeBytes = c.Tree.ApproxBytes()
+	c.Stats.ResidualCount = c.Bins.Len()
+	c.Stats.BinCount = c.Bins.BinCount()
+	return c, nil
+}

@@ -1,0 +1,78 @@
+package bootstrap
+
+import (
+	"context"
+	"testing"
+
+	"sapphire/internal/datagen"
+	"sapphire/internal/endpoint"
+)
+
+// TestInitializeSurvivesFlakyEndpoint injects failures into every 5th
+// query: initialization must degrade (fewer literals) but never fail
+// outright — the resilience Section 5's design exists for.
+func TestInitializeSurvivesFlakyEndpoint(t *testing.T) {
+	d := datagen.Generate(datagen.SmallConfig())
+	inner := endpoint.NewLocal("synthetic-dbpedia", d.Store, endpoint.Limits{})
+	flaky := endpoint.NewFlaky(inner, 5, 0, 1)
+	c, err := Initialize(context.Background(), flaky, DefaultConfig())
+	if err != nil {
+		t.Fatalf("initialization died on a flaky endpoint: %v", err)
+	}
+	if flaky.Failures() == 0 {
+		t.Fatal("injection did not fire")
+	}
+	if c.Stats.Timeouts == 0 {
+		t.Error("injected failures not recorded as timeouts")
+	}
+	if c.Stats.LiteralCount == 0 {
+		t.Error("no literals recovered despite retrying through the hierarchy")
+	}
+	// A healthy run caches at least as much.
+	healthy, err := Initialize(context.Background(),
+		endpoint.NewLocal("clean", d.Store, endpoint.Limits{}), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Stats.LiteralCount > healthy.Stats.LiteralCount {
+		t.Errorf("flaky run cached more (%d) than healthy (%d)?",
+			c.Stats.LiteralCount, healthy.Stats.LiteralCount)
+	}
+}
+
+// TestInitializeSurvivesRandomFailures uses probabilistic injection.
+func TestInitializeSurvivesRandomFailures(t *testing.T) {
+	d := datagen.Generate(datagen.SmallConfig())
+	inner := endpoint.NewLocal("synthetic-dbpedia", d.Store, endpoint.Limits{})
+	flaky := endpoint.NewFlaky(inner, 0, 0.15, 7)
+	c, err := Initialize(context.Background(), flaky, DefaultConfig())
+	if err != nil {
+		t.Fatalf("initialization died: %v", err)
+	}
+	if c.Stats.LiteralCount == 0 {
+		t.Error("nothing cached under 15% failure rate")
+	}
+	// The cache stays usable.
+	if got := c.Tree.Search("a", 5); len(got) == 0 {
+		t.Error("tree unusable after flaky init")
+	}
+}
+
+// TestInitializeFirstQueryFails covers the worst case: the very first
+// statistics query is failed by injection. Initialization returns an
+// empty-but-valid cache rather than crashing.
+func TestInitializeFirstQueryFails(t *testing.T) {
+	d := datagen.Generate(datagen.SmallConfig())
+	inner := endpoint.NewLocal("synthetic-dbpedia", d.Store, endpoint.Limits{})
+	flaky := endpoint.NewFlaky(inner, 1, 0, 1) // every query fails
+	c, err := Initialize(context.Background(), flaky, DefaultConfig())
+	if err != nil {
+		t.Fatalf("unexpected hard failure: %v", err)
+	}
+	if c.Stats.PredicateCount != 0 || c.Stats.LiteralCount != 0 {
+		t.Errorf("cache should be empty: %+v", c.Stats)
+	}
+	if c.Tree == nil || c.Bins == nil {
+		t.Error("indexes must exist even when empty")
+	}
+}

@@ -1,0 +1,76 @@
+package bootstrap
+
+import (
+	"context"
+	"time"
+
+	"sapphire/internal/endpoint"
+	"sapphire/internal/rdf"
+)
+
+// InitializeWarehouse runs the warehousing-architecture variant of
+// initialization described at the end of Appendix A: when the datasets
+// are stored locally with Sapphire — no timeouts, no admission control —
+// literal retrieval needs none of the class-hierarchy gymnastics, just
+// the two straight-line queries Q9 (all filtered literals) and Q10 (all
+// significant literals), paginated only to bound result-set size.
+func InitializeWarehouse(ctx context.Context, ep endpoint.Endpoint, cfg Config) (*Cache, error) {
+	start := time.Now()
+	init := &initializer{
+		ctx:      ctx,
+		ep:       ep,
+		cfg:      cfg,
+		literals: make(map[string]rdf.Term),
+		sig:      make(map[string]int),
+	}
+	preds, err := init.fetchPredicates()
+	if err != nil {
+		return nil, err
+	}
+	// Q9: literals, paginated.
+	for offset := 0; ; offset += cfg.PageSize {
+		res, err := init.query(QueryWarehouseLiterals(cfg.Language, cfg.MaxLiteralLength, cfg.PageSize, offset))
+		if err != nil {
+			return nil, err
+		}
+		if res == nil {
+			break // budget exhausted
+		}
+		init.stats.LiteralQueries++
+		for _, row := range res.Rows {
+			if o := row["o"]; o.IsLiteral() {
+				init.literals[o.Value] = o
+			}
+		}
+		if len(res.Rows) < cfg.PageSize {
+			break
+		}
+	}
+	// Q10: significance, paginated.
+	for offset := 0; ; offset += cfg.PageSize {
+		res, err := init.query(QueryWarehouseSignificant(cfg.Language, cfg.MaxLiteralLength, cfg.PageSize, offset))
+		if err != nil {
+			return nil, err
+		}
+		if res == nil {
+			break
+		}
+		init.stats.SignificanceQueries++
+		for _, row := range res.Rows {
+			o := row["o"]
+			n := 0
+			if f, ok := row["frequency"]; ok {
+				n = atoiSafe(f.Value)
+			}
+			if o.IsLiteral() && n > init.sig[o.Value] {
+				init.sig[o.Value] = n
+			}
+		}
+		if len(res.Rows) < cfg.PageSize {
+			break
+		}
+	}
+	c := init.buildCache(ep.Name(), preds)
+	c.Stats.Duration = time.Since(start)
+	return c, nil
+}

@@ -1,0 +1,78 @@
+package datagen
+
+import (
+	"sapphire/internal/rdf"
+	"sapphire/internal/store"
+)
+
+// Split partitions the dataset into interlinked stores the way the LOD
+// cloud hosts data: agents (people, organisations) on one endpoint,
+// places on another, works and everything else on a third. Object IRIs
+// still point across partitions — exactly the cross-endpoint links the
+// federated query processor exists to join. Schema triples (the class
+// hierarchy and class labels) are replicated to every partition, as
+// ontologies are in practice.
+func (d *Dataset) Split() (agents, places, works *store.Store) {
+	agents, places, works = store.New(), store.New(), store.New()
+	all := []*store.Store{agents, places, works}
+
+	typ := rdf.NewIRI(rdf.RDFType)
+	owlClass := rdf.NewIRI(rdf.OWLClass)
+
+	// Determine each subject's home partition from its types.
+	home := make(map[rdf.Term]*store.Store)
+	agentClasses := map[string]bool{}
+	placeClasses := map[string]bool{}
+	for c := range classHierarchy {
+		for s := c; s != ""; s = classHierarchy[s] {
+			if s == "Agent" {
+				agentClasses[rdf.NSDBO+c] = true
+			}
+			if s == "Place" {
+				placeClasses[rdf.NSDBO+c] = true
+			}
+		}
+	}
+	d.Store.Match(rdf.Term{}, typ, rdf.Term{}, func(tr rdf.Triple) bool {
+		if _, done := home[tr.S]; done {
+			return true
+		}
+		switch {
+		case agentClasses[tr.O.Value]:
+			home[tr.S] = agents
+		case placeClasses[tr.O.Value]:
+			home[tr.S] = places
+		}
+		return true
+	})
+
+	isSchema := func(tr rdf.Triple) bool {
+		if tr.P.Value == rdf.RDFSSubClassOf {
+			return true
+		}
+		if tr.P == typ && tr.O == owlClass {
+			return true
+		}
+		// Class entities' own triples (labels, owl:Thing typing).
+		if d.Store.Contains(rdf.Triple{S: tr.S, P: typ, O: owlClass}) {
+			return true
+		}
+		return false
+	}
+
+	d.Store.Match(rdf.Term{}, rdf.Term{}, rdf.Term{}, func(tr rdf.Triple) bool {
+		if isSchema(tr) {
+			for _, st := range all {
+				st.MustAdd(tr)
+			}
+			return true
+		}
+		dst := home[tr.S]
+		if dst == nil {
+			dst = works
+		}
+		dst.MustAdd(tr)
+		return true
+	})
+	return agents, places, works
+}

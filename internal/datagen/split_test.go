@@ -1,0 +1,82 @@
+package datagen
+
+import (
+	"testing"
+
+	"sapphire/internal/rdf"
+)
+
+func TestSplitPartitionsData(t *testing.T) {
+	d := Generate(SmallConfig())
+	agents, places, works := d.Split()
+
+	// People live on the agents partition.
+	hanks := Res("Tom_Hanks")
+	if agents.Count(hanks, rdf.Term{}, rdf.Term{}) == 0 {
+		t.Error("Tom Hanks not on the agents partition")
+	}
+	if places.Count(hanks, rdf.Term{}, rdf.Term{}) != 0 {
+		t.Error("Tom Hanks leaked to the places partition")
+	}
+	// Cities live on places.
+	sydney := Res("Sydney")
+	if places.Count(sydney, rdf.Term{}, rdf.Term{}) == 0 {
+		t.Error("Sydney not on the places partition")
+	}
+	// Books live on works.
+	road := Res("On_the_Road")
+	if works.Count(road, rdf.Term{}, rdf.Term{}) == 0 {
+		t.Error("On the Road not on the works partition")
+	}
+	// Cross-partition links survive: the book's author IRI points at the
+	// agents partition.
+	author := rdf.NewIRI(rdf.NSDBO + "author")
+	found := false
+	works.Match(road, author, rdf.Term{}, func(tr rdf.Triple) bool {
+		if agents.Count(tr.O, rdf.Term{}, rdf.Term{}) > 0 {
+			found = true
+		}
+		return true
+	})
+	if !found {
+		t.Error("cross-partition author link broken")
+	}
+}
+
+func TestSplitReplicatesSchema(t *testing.T) {
+	d := Generate(SmallConfig())
+	agents, places, works := d.Split()
+	sub := rdf.NewIRI(rdf.RDFSSubClassOf)
+	for name, st := range map[string]interface {
+		Count(s, p, o rdf.Term) int
+	}{"agents": agents, "places": places, "works": works} {
+		if st.Count(rdf.Term{}, sub, rdf.Term{}) == 0 {
+			t.Errorf("%s partition lacks the class hierarchy", name)
+		}
+		if st.Count(Onto("City"), rdf.NewIRI(rdf.RDFSLabel), rdf.Term{}) == 0 {
+			t.Errorf("%s partition lacks class labels", name)
+		}
+	}
+}
+
+func TestSplitCoversEverything(t *testing.T) {
+	d := Generate(SmallConfig())
+	agents, places, works := d.Split()
+	// Every non-schema triple appears in exactly one partition; schema
+	// triples in all three. So total >= original.
+	total := agents.Len() + places.Len() + works.Len()
+	if total < d.Store.Len() {
+		t.Errorf("split lost triples: %d < %d", total, d.Store.Len())
+	}
+	// Nothing invented.
+	missing := 0
+	d.Store.Match(rdf.Term{}, rdf.Term{}, rdf.Term{}, func(tr rdf.Triple) bool {
+		if !agents.Contains(tr) && !places.Contains(tr) && !works.Contains(tr) {
+			missing++
+		}
+		return true
+	})
+	if missing > 0 {
+		t.Errorf("%d triples missing from all partitions", missing)
+	}
+}

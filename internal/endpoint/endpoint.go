@@ -1,0 +1,191 @@
+// Package endpoint provides SPARQL endpoint abstractions: an in-process
+// endpoint wrapping a triple store with the resource limits that public
+// endpoints impose (timeouts, cost-based rejection, result caps), plus an
+// HTTP server and client speaking the SPARQL protocol with JSON results.
+//
+// The limits matter to Sapphire: the initialization strategy of Section 5
+// (class-hierarchy descent, pagination) exists precisely because remote
+// endpoints time out long-running queries, so the simulated endpoint must
+// reproduce that failure mode deterministically.
+package endpoint
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"sapphire/internal/rdf"
+	"sapphire/internal/sparql"
+	"sapphire/internal/store"
+)
+
+// Typed errors distinguishing the endpoint failure modes the paper's
+// initialization logic reacts to.
+var (
+	// ErrTimeout means the query exceeded the endpoint's execution
+	// budget; initialization responds by descending the class hierarchy
+	// or tightening pagination.
+	ErrTimeout = errors.New("endpoint: query timed out")
+	// ErrRejected means the endpoint refused the query up front because
+	// its estimated cost exceeded the admission threshold.
+	ErrRejected = errors.New("endpoint: query rejected (estimated cost too high)")
+)
+
+// Endpoint is a SPARQL query service.
+type Endpoint interface {
+	// Name identifies the endpoint (a URL for remote ones).
+	Name() string
+	// Query parses and executes a SPARQL SELECT query.
+	Query(ctx context.Context, query string) (*sparql.Results, error)
+}
+
+// Stats counts endpoint activity; Sapphire's initialization reports these
+// (the paper: ~3800 queries to DBpedia, ~200 timeouts).
+type Stats struct {
+	Queries  int64
+	Timeouts int64
+	Rejected int64
+	Rows     int64
+}
+
+// Limits configures the simulated resource constraints of a Local
+// endpoint. Zero values disable the corresponding limit.
+type Limits struct {
+	// MaxIntermediateRows aborts a query once its evaluation has
+	// produced this many intermediate rows — the deterministic stand-in
+	// for a wall-clock execution timeout.
+	MaxIntermediateRows int
+	// RejectEstimateAbove rejects queries whose first-pattern
+	// cardinality estimate exceeds this bound, modelling endpoints that
+	// refuse obviously expensive queries outright.
+	RejectEstimateAbove int
+	// Latency is added to every query to model network round trip plus
+	// queueing; used by the response-time experiments.
+	Latency time.Duration
+}
+
+// Local is an Endpoint over an in-memory store.
+type Local struct {
+	name   string
+	store  *store.Store
+	limits Limits
+
+	mu    sync.Mutex
+	stats Stats
+}
+
+// NewLocal wraps a store as an endpoint with the given limits.
+func NewLocal(name string, st *store.Store, limits Limits) *Local {
+	return &Local{name: name, store: st, limits: limits}
+}
+
+// Name implements Endpoint.
+func (l *Local) Name() string { return l.name }
+
+// Store exposes the underlying store for test setup and datagen.
+func (l *Local) Store() *store.Store { return l.store }
+
+// Stats returns a snapshot of the endpoint counters.
+func (l *Local) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.stats
+}
+
+// ResetStats zeroes the counters.
+func (l *Local) ResetStats() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.stats = Stats{}
+}
+
+// Query implements Endpoint. It enforces admission control, the
+// intermediate-row budget, and context cancellation.
+func (l *Local) Query(ctx context.Context, query string) (*sparql.Results, error) {
+	l.mu.Lock()
+	l.stats.Queries++
+	l.mu.Unlock()
+
+	q, err := sparql.Parse(query)
+	if err != nil {
+		return nil, fmt.Errorf("endpoint %s: %w", l.name, err)
+	}
+	if l.limits.RejectEstimateAbove > 0 {
+		if est := l.estimate(q); est > l.limits.RejectEstimateAbove {
+			l.mu.Lock()
+			l.stats.Rejected++
+			l.mu.Unlock()
+			return nil, fmt.Errorf("endpoint %s: estimate %d: %w", l.name, est, ErrRejected)
+		}
+	}
+	if l.limits.Latency > 0 {
+		select {
+		case <-time.After(l.limits.Latency):
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	// Single-pattern queries are index sweeps: real endpoints answer
+	// them with one ordered scan, so a row of such a query costs far
+	// less than a join row. Weighting them 1/32 preserves the asymmetry
+	// the paper relies on — the statistics queries Q1/Q3/Q4 are "short
+	// queries that are not expected to time out" while multi-pattern
+	// literal retrieval over large classes does time out.
+	const sweepDiscount = 32
+	cheap := len(q.Where) == 1
+	calls := 0
+	budget := func() error {
+		calls++
+		effective := calls
+		if cheap {
+			effective = (calls + sweepDiscount - 1) / sweepDiscount
+		}
+		if l.limits.MaxIntermediateRows > 0 && effective > l.limits.MaxIntermediateRows {
+			return ErrTimeout
+		}
+		if calls%1024 == 0 {
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			default:
+			}
+		}
+		return nil
+	}
+	res, err := sparql.Eval(l.store, q, sparql.Options{Budget: budget})
+	if err != nil {
+		if errors.Is(err, ErrTimeout) {
+			l.mu.Lock()
+			l.stats.Timeouts++
+			l.mu.Unlock()
+			return nil, fmt.Errorf("endpoint %s: %w", l.name, ErrTimeout)
+		}
+		return nil, fmt.Errorf("endpoint %s: %w", l.name, err)
+	}
+	l.mu.Lock()
+	l.stats.Rows += int64(len(res.Rows))
+	l.mu.Unlock()
+	return res, nil
+}
+
+// estimate approximates query cost as the sum of per-pattern cardinality
+// estimates, an intentionally crude model of the admission controllers
+// public endpoints run.
+func (l *Local) estimate(q *sparql.Query) int {
+	total := 0
+	for _, pat := range q.Where {
+		total += l.store.CardinalityEstimate(nodeTerm(pat.S), nodeTerm(pat.P), nodeTerm(pat.O))
+	}
+	return total
+}
+
+// nodeTerm maps a pattern node to the wildcard-or-constant convention of
+// store.Match: variables become the zero term.
+func nodeTerm(n sparql.Node) rdf.Term {
+	if n.IsVar() {
+		return rdf.Term{}
+	}
+	return n.Term
+}

@@ -1,0 +1,66 @@
+package endpoint
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+func TestFlakyTimeoutEvery(t *testing.T) {
+	inner := NewLocal("inner", testStore(t, 5), Limits{})
+	f := NewFlaky(inner, 3, 0, 1)
+	if f.Name() != "inner (flaky)" {
+		t.Errorf("Name = %q", f.Name())
+	}
+	ctx := context.Background()
+	q := `SELECT ?s WHERE { ?s a <http://x/Person> . }`
+	var timeouts int
+	for i := 0; i < 9; i++ {
+		if _, err := f.Query(ctx, q); errors.Is(err, ErrTimeout) {
+			timeouts++
+		} else if err != nil {
+			t.Fatalf("unexpected error: %v", err)
+		}
+	}
+	if timeouts != 3 {
+		t.Errorf("timeouts = %d, want 3 (every 3rd)", timeouts)
+	}
+	if f.Failures() != 3 {
+		t.Errorf("Failures = %d", f.Failures())
+	}
+}
+
+func TestFlakyRejectEvery(t *testing.T) {
+	inner := NewLocal("inner", testStore(t, 5), Limits{})
+	f := &Flaky{Inner: inner, RejectEvery: 2}
+	ctx := context.Background()
+	q := `SELECT ?s WHERE { ?s a <http://x/Person> . }`
+	if _, err := f.Query(ctx, q); err != nil {
+		t.Fatalf("first query should pass: %v", err)
+	}
+	if _, err := f.Query(ctx, q); !errors.Is(err, ErrRejected) {
+		t.Fatalf("second query should reject: %v", err)
+	}
+}
+
+func TestFlakyProbabilisticDeterministic(t *testing.T) {
+	run := func() int {
+		inner := NewLocal("inner", testStore(t, 5), Limits{})
+		f := NewFlaky(inner, 0, 0.5, 42)
+		fails := 0
+		for i := 0; i < 40; i++ {
+			if _, err := f.Query(context.Background(),
+				`SELECT ?s WHERE { ?s a <http://x/Person> . }`); err != nil {
+				fails++
+			}
+		}
+		return fails
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Errorf("probabilistic injection nondeterministic: %d vs %d", a, b)
+	}
+	if a == 0 || a == 40 {
+		t.Errorf("fails = %d, want a proper mix", a)
+	}
+}

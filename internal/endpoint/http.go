@@ -1,0 +1,190 @@
+package endpoint
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+
+	"sapphire/internal/rdf"
+	"sapphire/internal/sparql"
+)
+
+// jsonResults is the SPARQL 1.1 Query Results JSON format, the wire
+// representation between the HTTP endpoint and client.
+type jsonResults struct {
+	Head struct {
+		Vars []string `json:"vars"`
+	} `json:"head"`
+	Results struct {
+		Bindings []map[string]jsonTerm `json:"bindings"`
+	} `json:"results"`
+}
+
+type jsonTerm struct {
+	Type     string `json:"type"` // "uri", "literal", "bnode"
+	Value    string `json:"value"`
+	Lang     string `json:"xml:lang,omitempty"`
+	Datatype string `json:"datatype,omitempty"`
+}
+
+func toJSONResults(res *sparql.Results) *jsonResults {
+	out := &jsonResults{}
+	out.Head.Vars = res.Vars
+	out.Results.Bindings = make([]map[string]jsonTerm, 0, len(res.Rows))
+	for _, row := range res.Rows {
+		b := make(map[string]jsonTerm, len(row))
+		for v, t := range row {
+			b[v] = toJSONTerm(t)
+		}
+		out.Results.Bindings = append(out.Results.Bindings, b)
+	}
+	return out
+}
+
+func toJSONTerm(t rdf.Term) jsonTerm {
+	switch t.Kind {
+	case rdf.KindIRI:
+		return jsonTerm{Type: "uri", Value: t.Value}
+	case rdf.KindBlank:
+		return jsonTerm{Type: "bnode", Value: t.Value}
+	default:
+		return jsonTerm{Type: "literal", Value: t.Value, Lang: t.Lang, Datatype: t.Datatype}
+	}
+}
+
+func fromJSONTerm(jt jsonTerm) (rdf.Term, error) {
+	switch jt.Type {
+	case "uri":
+		return rdf.NewIRI(jt.Value), nil
+	case "bnode":
+		return rdf.NewBlank(jt.Value), nil
+	case "literal", "typed-literal":
+		switch {
+		case jt.Lang != "":
+			return rdf.NewLangLiteral(jt.Value, jt.Lang), nil
+		case jt.Datatype != "":
+			return rdf.NewTypedLiteral(jt.Value, jt.Datatype), nil
+		default:
+			return rdf.NewLiteral(jt.Value), nil
+		}
+	default:
+		return rdf.Term{}, fmt.Errorf("endpoint: unknown term type %q", jt.Type)
+	}
+}
+
+// Handler exposes an Endpoint over HTTP at the conventional /sparql
+// path semantics: GET with ?query= or POST with form/raw body. Errors
+// map to HTTP statuses: parse errors 400, timeouts 503, rejections 429.
+func Handler(ep Endpoint) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var query string
+		switch r.Method {
+		case http.MethodGet:
+			query = r.URL.Query().Get("query")
+		case http.MethodPost:
+			ct := r.Header.Get("Content-Type")
+			if strings.HasPrefix(ct, "application/x-www-form-urlencoded") {
+				if err := r.ParseForm(); err != nil {
+					http.Error(w, err.Error(), http.StatusBadRequest)
+					return
+				}
+				query = r.PostForm.Get("query")
+			} else {
+				body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+				if err != nil {
+					http.Error(w, err.Error(), http.StatusBadRequest)
+					return
+				}
+				query = string(body)
+			}
+		default:
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		if strings.TrimSpace(query) == "" {
+			http.Error(w, "missing query", http.StatusBadRequest)
+			return
+		}
+		res, err := ep.Query(r.Context(), query)
+		if err != nil {
+			switch {
+			case errors.Is(err, ErrTimeout):
+				http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			case errors.Is(err, ErrRejected):
+				http.Error(w, err.Error(), http.StatusTooManyRequests)
+			default:
+				http.Error(w, err.Error(), http.StatusBadRequest)
+			}
+			return
+		}
+		w.Header().Set("Content-Type", "application/sparql-results+json")
+		_ = json.NewEncoder(w).Encode(toJSONResults(res))
+	})
+}
+
+// Client is an Endpoint talking to a remote SPARQL HTTP endpoint.
+type Client struct {
+	url    string
+	client *http.Client
+}
+
+// NewClient returns a client for the endpoint at rawURL.
+func NewClient(rawURL string) *Client {
+	return &Client{url: rawURL, client: &http.Client{Timeout: 30 * time.Second}}
+}
+
+// Name implements Endpoint.
+func (c *Client) Name() string { return c.url }
+
+// Query implements Endpoint by POSTing the query as a form and decoding
+// the SPARQL JSON results. HTTP 503 maps back to ErrTimeout and 429 to
+// ErrRejected so callers can react uniformly to local and remote
+// endpoints.
+func (c *Client) Query(ctx context.Context, query string) (*sparql.Results, error) {
+	form := url.Values{"query": {query}}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.url, strings.NewReader(form.Encode()))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/x-www-form-urlencoded")
+	req.Header.Set("Accept", "application/sparql-results+json")
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		switch resp.StatusCode {
+		case http.StatusServiceUnavailable:
+			return nil, fmt.Errorf("%s: %w", strings.TrimSpace(string(msg)), ErrTimeout)
+		case http.StatusTooManyRequests:
+			return nil, fmt.Errorf("%s: %w", strings.TrimSpace(string(msg)), ErrRejected)
+		default:
+			return nil, fmt.Errorf("endpoint %s: HTTP %d: %s", c.url, resp.StatusCode, strings.TrimSpace(string(msg)))
+		}
+	}
+	var jr jsonResults
+	if err := json.NewDecoder(resp.Body).Decode(&jr); err != nil {
+		return nil, fmt.Errorf("endpoint %s: bad JSON: %w", c.url, err)
+	}
+	res := &sparql.Results{Vars: jr.Head.Vars}
+	for _, b := range jr.Results.Bindings {
+		row := make(sparql.Binding, len(b))
+		for v, jt := range b {
+			t, err := fromJSONTerm(jt)
+			if err != nil {
+				return nil, err
+			}
+			row[v] = t
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}

@@ -1,0 +1,275 @@
+// Package federation implements a FedX-style federated query processor
+// over SPARQL endpoints (Schwarte et al., ISWC 2011), the substrate the
+// Sapphire server uses to execute user queries and to prefetch suggested
+// alternatives across all registered endpoints (Section 3).
+//
+// Like FedX it performs source selection — probing which endpoints can
+// contribute to each triple pattern and caching the outcome — and then
+// evaluates joins at the federator, shipping bound patterns to members.
+// Batching via SPARQL 1.1 VALUES is simplified to memoized per-pattern
+// requests, which preserves the architecture (endpoints see only
+// single-pattern queries) at our simulation scale.
+package federation
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+
+	"sapphire/internal/endpoint"
+	"sapphire/internal/rdf"
+	"sapphire/internal/sparql"
+)
+
+// Federation is a federated query processor over member endpoints.
+type Federation struct {
+	members []endpoint.Endpoint
+
+	mu sync.Mutex
+	// sourceCache maps predicate IRI → indexes of members that hold at
+	// least one triple with that predicate (FedX source selection).
+	sourceCache map[string][]int
+	// patternCache memoizes pattern fetches within this federation's
+	// lifetime so repeated Match calls during a join do not re-issue
+	// identical endpoint queries.
+	patternCache map[string][]rdf.Triple
+	// queries counts endpoint requests issued, for experiment reporting
+	// and for the Steiner expansion budget.
+	queries int
+}
+
+// New returns a federation over the given endpoints.
+func New(members ...endpoint.Endpoint) *Federation {
+	return &Federation{
+		members:      members,
+		sourceCache:  make(map[string][]int),
+		patternCache: make(map[string][]rdf.Triple),
+	}
+}
+
+// Members returns the registered endpoints.
+func (f *Federation) Members() []endpoint.Endpoint { return f.members }
+
+// QueriesIssued returns the number of endpoint requests sent so far.
+func (f *Federation) QueriesIssued() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.queries
+}
+
+// ResetCaches clears the pattern memoization (source selection survives,
+// as in FedX where the source cache is long-lived).
+func (f *Federation) ResetCaches() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.patternCache = make(map[string][]rdf.Triple)
+}
+
+// Query parses and executes a SPARQL query across the federation.
+func (f *Federation) Query(ctx context.Context, query string) (*sparql.Results, error) {
+	q, err := sparql.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	return f.Eval(ctx, q)
+}
+
+// Eval executes a parsed query across the federation.
+func (f *Federation) Eval(ctx context.Context, q *sparql.Query) (*sparql.Results, error) {
+	g := &fedGraph{f: f, ctx: ctx}
+	res, err := sparql.Eval(g, q, sparql.Options{})
+	if err != nil {
+		return nil, err
+	}
+	if g.err != nil {
+		return nil, g.err
+	}
+	return res, nil
+}
+
+// fedGraph adapts the federation to sparql.Graph. Errors from member
+// endpoints are recorded and surface after evaluation (the Graph
+// interface itself cannot fail).
+type fedGraph struct {
+	f   *Federation
+	ctx context.Context
+	err error
+}
+
+// Match implements sparql.Graph by fetching the pattern from all
+// relevant members.
+func (g *fedGraph) Match(s, p, o rdf.Term, fn func(rdf.Triple) bool) {
+	if g.err != nil {
+		return
+	}
+	triples, err := g.f.fetchPattern(g.ctx, s, p, o)
+	if err != nil {
+		g.err = err
+		return
+	}
+	for _, tr := range triples {
+		if !fn(tr) {
+			return
+		}
+	}
+}
+
+// CardinalityEstimate implements sparql.Graph. It uses the size of the
+// memoized pattern result when available and a neutral constant
+// otherwise, so join ordering prefers already-fetched selective patterns.
+func (g *fedGraph) CardinalityEstimate(s, p, o rdf.Term) int {
+	g.f.mu.Lock()
+	defer g.f.mu.Unlock()
+	if ts, ok := g.f.patternCache[patternKey(s, p, o)]; ok {
+		return len(ts)
+	}
+	// Unfetched: guess by boundness — more constants, more selective.
+	est := 1 << 20
+	for _, t := range []rdf.Term{s, p, o} {
+		if !t.IsZero() {
+			est >>= 7
+		}
+	}
+	return est
+}
+
+// fetchPattern returns all triples matching the pattern across relevant
+// members, memoized.
+func (f *Federation) fetchPattern(ctx context.Context, s, p, o rdf.Term) ([]rdf.Triple, error) {
+	key := patternKey(s, p, o)
+	f.mu.Lock()
+	if ts, ok := f.patternCache[key]; ok {
+		f.mu.Unlock()
+		return ts, nil
+	}
+	f.mu.Unlock()
+
+	members, err := f.selectSources(ctx, p)
+	if err != nil {
+		return nil, err
+	}
+	var all []rdf.Triple
+	seen := make(map[rdf.Triple]bool)
+	for _, mi := range members {
+		triples, err := f.fetchFromMember(ctx, mi, s, p, o)
+		if err != nil {
+			return nil, err
+		}
+		for _, tr := range triples {
+			if !seen[tr] {
+				seen[tr] = true
+				all = append(all, tr)
+			}
+		}
+	}
+	f.mu.Lock()
+	f.patternCache[key] = all
+	f.mu.Unlock()
+	return all, nil
+}
+
+// selectSources returns the member indexes relevant for a pattern with
+// predicate p. Bound predicates use the cached ASK-style probe; variable
+// predicates go to every member.
+func (f *Federation) selectSources(ctx context.Context, p rdf.Term) ([]int, error) {
+	if p.IsZero() || !p.IsIRI() {
+		all := make([]int, len(f.members))
+		for i := range all {
+			all[i] = i
+		}
+		return all, nil
+	}
+	f.mu.Lock()
+	if cached, ok := f.sourceCache[p.Value]; ok {
+		f.mu.Unlock()
+		return cached, nil
+	}
+	f.mu.Unlock()
+
+	var relevant []int
+	probe := fmt.Sprintf("SELECT ?s WHERE { ?s %s ?o . } LIMIT 1", p)
+	for i, m := range f.members {
+		f.countQuery()
+		res, err := m.Query(ctx, probe)
+		if err != nil {
+			return nil, fmt.Errorf("federation: source probe on %s: %w", m.Name(), err)
+		}
+		if len(res.Rows) > 0 {
+			relevant = append(relevant, i)
+		}
+	}
+	f.mu.Lock()
+	f.sourceCache[p.Value] = relevant
+	f.mu.Unlock()
+	return relevant, nil
+}
+
+func (f *Federation) countQuery() {
+	f.mu.Lock()
+	f.queries++
+	f.mu.Unlock()
+}
+
+// fetchFromMember ships a single-pattern query to one member and converts
+// the rows back to triples.
+func (f *Federation) fetchFromMember(ctx context.Context, mi int, s, p, o rdf.Term) ([]rdf.Triple, error) {
+	m := f.members[mi]
+	var sb strings.Builder
+	sb.WriteString("SELECT")
+	writeNode := func(t rdf.Term, v string) string {
+		if t.IsZero() {
+			return "?" + v
+		}
+		return t.String()
+	}
+	sn, pn, on := writeNode(s, "s"), writeNode(p, "p"), writeNode(o, "o")
+	anyVar := false
+	for _, part := range []struct {
+		t rdf.Term
+		v string
+	}{{s, "s"}, {p, "p"}, {o, "o"}} {
+		if part.t.IsZero() {
+			sb.WriteString(" ?" + part.v)
+			anyVar = true
+		}
+	}
+	if !anyVar {
+		// Fully bound: ask for the subject to detect existence.
+		q := fmt.Sprintf("SELECT ?x WHERE { ?x %s %s . FILTER (?x = %s) } LIMIT 1", pn, on, sn)
+		f.countQuery()
+		res, err := m.Query(ctx, q)
+		if err != nil {
+			return nil, fmt.Errorf("federation: %s: %w", m.Name(), err)
+		}
+		if len(res.Rows) > 0 {
+			return []rdf.Triple{{S: s, P: p, O: o}}, nil
+		}
+		return nil, nil
+	}
+	fmt.Fprintf(&sb, " WHERE { %s %s %s . }", sn, pn, on)
+	f.countQuery()
+	res, err := m.Query(ctx, sb.String())
+	if err != nil {
+		return nil, fmt.Errorf("federation: %s: %w", m.Name(), err)
+	}
+	out := make([]rdf.Triple, 0, len(res.Rows))
+	for _, row := range res.Rows {
+		tr := rdf.Triple{S: s, P: p, O: o}
+		if s.IsZero() {
+			tr.S = row["s"]
+		}
+		if p.IsZero() {
+			tr.P = row["p"]
+		}
+		if o.IsZero() {
+			tr.O = row["o"]
+		}
+		out = append(out, tr)
+	}
+	return out, nil
+}
+
+func patternKey(s, p, o rdf.Term) string {
+	return s.String() + "\x00" + p.String() + "\x00" + o.String()
+}

@@ -1,0 +1,193 @@
+package federation
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"sapphire/internal/endpoint"
+	"sapphire/internal/rdf"
+	"sapphire/internal/store"
+)
+
+// twoEndpoints builds a federation whose data is split: people live on
+// endpoint A, cities on endpoint B, with cross-links (the LOD-cloud
+// shape Sapphire federates over).
+func twoEndpoints(t testing.TB) (*Federation, *endpoint.Local, *endpoint.Local) {
+	t.Helper()
+	iri := func(x string) rdf.Term { return rdf.NewIRI("http://x/" + x) }
+	en := func(x string) rdf.Term { return rdf.NewLangLiteral(x, "en") }
+	typ := rdf.NewIRI(rdf.RDFType)
+
+	people := store.New()
+	for i, name := range []string{"Alice", "Bob", "Carol"} {
+		s := iri(fmt.Sprintf("person%d", i))
+		people.MustAdd(rdf.NewTriple(s, typ, iri("Person")))
+		people.MustAdd(rdf.NewTriple(s, iri("name"), en(name)))
+		people.MustAdd(rdf.NewTriple(s, iri("livesIn"), iri("city"+fmt.Sprint(i%2))))
+	}
+	cities := store.New()
+	for i, name := range []string{"Springfield", "Shelbyville"} {
+		c := iri(fmt.Sprintf("city%d", i))
+		cities.MustAdd(rdf.NewTriple(c, typ, iri("City")))
+		cities.MustAdd(rdf.NewTriple(c, iri("cityName"), en(name)))
+	}
+	a := endpoint.NewLocal("people", people, endpoint.Limits{})
+	b := endpoint.NewLocal("cities", cities, endpoint.Limits{})
+	return New(a, b), a, b
+}
+
+func TestFederatedSingleEndpointQuery(t *testing.T) {
+	fed, _, _ := twoEndpoints(t)
+	res, err := fed.Query(context.Background(),
+		`SELECT ?n WHERE { ?s <http://x/name> ?n . }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Errorf("rows = %d, want 3", len(res.Rows))
+	}
+}
+
+func TestFederatedCrossEndpointJoin(t *testing.T) {
+	fed, _, _ := twoEndpoints(t)
+	// Join spans both endpoints: livesIn on A, cityName on B.
+	res, err := fed.Query(context.Background(), `SELECT ?n ?cn WHERE {
+		?s <http://x/name> ?n .
+		?s <http://x/livesIn> ?c .
+		?c <http://x/cityName> ?cn .
+	}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %v, want 3", res.Sorted())
+	}
+	// Alice (person0) lives in city0 Springfield.
+	found := false
+	for _, row := range res.Rows {
+		if row["n"].Value == "Alice" && row["cn"].Value == "Springfield" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("Alice/Springfield missing: %v", res.Sorted())
+	}
+}
+
+func TestSourceSelectionSkipsIrrelevantMembers(t *testing.T) {
+	fed, a, b := twoEndpoints(t)
+	_, err := fed.Query(context.Background(),
+		`SELECT ?cn WHERE { ?c <http://x/cityName> ?cn . }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aq, bq := a.Stats().Queries, b.Stats().Queries
+	// Both get one probe; only B gets the pattern fetch.
+	if aq != 1 {
+		t.Errorf("people endpoint served %d queries, want 1 (probe only)", aq)
+	}
+	if bq != 2 {
+		t.Errorf("cities endpoint served %d queries, want 2 (probe + fetch)", bq)
+	}
+	// Second query against the same predicate reuses the source cache;
+	// pattern cache makes it free entirely.
+	_, err = fed.Query(context.Background(),
+		`SELECT ?cn WHERE { ?c <http://x/cityName> ?cn . }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Stats().Queries != aq {
+		t.Errorf("probe repeated on irrelevant member")
+	}
+	if b.Stats().Queries != bq {
+		t.Errorf("pattern not memoized: %d", b.Stats().Queries)
+	}
+}
+
+func TestResetCachesForcesRefetch(t *testing.T) {
+	fed, _, b := twoEndpoints(t)
+	ctx := context.Background()
+	q := `SELECT ?cn WHERE { ?c <http://x/cityName> ?cn . }`
+	if _, err := fed.Query(ctx, q); err != nil {
+		t.Fatal(err)
+	}
+	before := b.Stats().Queries
+	fed.ResetCaches()
+	if _, err := fed.Query(ctx, q); err != nil {
+		t.Fatal(err)
+	}
+	if b.Stats().Queries != before+1 {
+		t.Errorf("refetch count = %d, want %d", b.Stats().Queries, before+1)
+	}
+}
+
+func TestFederatedDuplicateElimination(t *testing.T) {
+	// The same triple on two members must not double results.
+	s1, s2 := store.New(), store.New()
+	tr := rdf.NewTriple(rdf.NewIRI("http://x/a"), rdf.NewIRI("http://x/p"), rdf.NewLiteral("v"))
+	s1.MustAdd(tr)
+	s2.MustAdd(tr)
+	fed := New(endpoint.NewLocal("m1", s1, endpoint.Limits{}),
+		endpoint.NewLocal("m2", s2, endpoint.Limits{}))
+	res, err := fed.Query(context.Background(), `SELECT ?o WHERE { ?s <http://x/p> ?o . }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Errorf("rows = %d, want 1 after dedup", len(res.Rows))
+	}
+}
+
+func TestFederatedErrorPropagation(t *testing.T) {
+	st := store.New()
+	for i := 0; i < 200; i++ {
+		st.MustAdd(rdf.NewTriple(rdf.NewIRI(fmt.Sprintf("http://x/s%d", i)),
+			rdf.NewIRI("http://x/p"), rdf.NewLiteral(fmt.Sprint(i))))
+	}
+	fed := New(endpoint.NewLocal("m", st, endpoint.Limits{MaxIntermediateRows: 3}))
+	_, err := fed.Query(context.Background(), `SELECT ?o WHERE { ?s <http://x/p> ?o . }`)
+	if !errors.Is(err, endpoint.ErrTimeout) {
+		t.Errorf("err = %v, want wrapped ErrTimeout", err)
+	}
+}
+
+func TestQueriesIssuedCounter(t *testing.T) {
+	fed, _, _ := twoEndpoints(t)
+	if fed.QueriesIssued() != 0 {
+		t.Fatal("counter should start at 0")
+	}
+	_, err := fed.Query(context.Background(),
+		`SELECT ?n WHERE { ?s <http://x/name> ?n . }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fed.QueriesIssued() < 2 {
+		t.Errorf("QueriesIssued = %d, want probes + fetch", fed.QueriesIssued())
+	}
+}
+
+func TestFederatedVariablePredicate(t *testing.T) {
+	fed, _, _ := twoEndpoints(t)
+	res, err := fed.Query(context.Background(),
+		`SELECT DISTINCT ?p WHERE { <http://x/person0> ?p ?o . }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Errorf("predicates = %v, want 3", res.Sorted())
+	}
+}
+
+func TestFederatedAggregateAcrossMembers(t *testing.T) {
+	fed, _, _ := twoEndpoints(t)
+	res, err := fed.Query(context.Background(),
+		`SELECT (COUNT(?s) AS ?n) WHERE { ?s a <http://x/Person> . }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0]["n"].Value != "3" {
+		t.Errorf("count = %s, want 3", res.Rows[0]["n"].Value)
+	}
+}

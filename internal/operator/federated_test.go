@@ -1,0 +1,69 @@
+package operator
+
+import (
+	"context"
+	"testing"
+
+	"sapphire/internal/bootstrap"
+	"sapphire/internal/datagen"
+	"sapphire/internal/endpoint"
+	"sapphire/internal/federation"
+	"sapphire/internal/pum"
+	"sapphire/internal/qald"
+)
+
+// TestFullSuiteOverFederation runs the entire benchmark through a
+// three-endpoint federation (agents / places / works, split LOD-cloud
+// style with cross-partition links). This is the architecture of Figure
+// 1 end to end: per-endpoint initialization, merged cache, federated
+// joins for every question.
+func TestFullSuiteOverFederation(t *testing.T) {
+	d := datagen.Generate(datagen.SmallConfig())
+	agents, places, works := d.Split()
+	ctx := context.Background()
+
+	eps := []*endpoint.Local{
+		endpoint.NewLocal("agents", agents, endpoint.Limits{}),
+		endpoint.NewLocal("places", places, endpoint.Limits{}),
+		endpoint.NewLocal("works", works, endpoint.Limits{}),
+	}
+	var caches []*bootstrap.Cache
+	for _, ep := range eps {
+		c, err := bootstrap.Initialize(ctx, ep, bootstrap.DefaultConfig())
+		if err != nil {
+			t.Fatalf("init %s: %v", ep.Name(), err)
+		}
+		caches = append(caches, c)
+	}
+	merged := bootstrap.MergeCaches(caches...)
+	fed := federation.New(eps[0], eps[1], eps[2])
+	p := pum.New(merged, fed, nil, pum.DefaultConfig())
+	op := New(p)
+
+	// The merged cache must hold literals from every partition.
+	for _, want := range []string{"Tom Hanks", "Sydney", "On the Road"} {
+		if _, ok := merged.LiteralTerm(want); !ok {
+			t.Errorf("merged cache missing %q", want)
+		}
+	}
+
+	row, err := qald.Evaluate(ctx, op, qald.Questions(), d.Store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("federated Sapphire row: pro=%d ri=%d R=%.2f P=%.2f",
+		row.Processed, row.Right, row.Recall(), row.Precision())
+	if row.Recall() < 0.9 {
+		t.Errorf("federated recall = %.2f, want >= 0.9 (single-endpoint run: 1.0)", row.Recall())
+	}
+	if row.Precision() < 0.95 {
+		t.Errorf("federated precision = %.2f", row.Precision())
+	}
+	// Every endpoint actually served queries (the questions span all
+	// three partitions).
+	for _, ep := range eps {
+		if ep.Stats().Queries == 0 {
+			t.Errorf("endpoint %s never queried", ep.Name())
+		}
+	}
+}

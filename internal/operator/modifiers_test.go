@@ -1,0 +1,166 @@
+package operator
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"sapphire/internal/qald"
+	"sapphire/internal/rdf"
+	"sapphire/internal/sparql"
+)
+
+func findQuestion(t testing.TB, id string) qald.Question {
+	t.Helper()
+	for _, q := range qald.Questions() {
+		if q.ID == id {
+			return q
+		}
+	}
+	t.Fatalf("question %s not found", id)
+	return qald.Question{}
+}
+
+func TestBuildQueryCountPlan(t *testing.T) {
+	op, _ := testOperator(t)
+	q, err := op.BuildQuery(findQuestion(t, "X17").Plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !q.HasAggregates() {
+		t.Errorf("count plan produced no aggregate:\n%s", q)
+	}
+	if !strings.Contains(q.String(), "COUNT(DISTINCT ?b)") {
+		t.Errorf("query = %s", q)
+	}
+}
+
+func TestBuildQuerySuperlativePlan(t *testing.T) {
+	op, _ := testOperator(t)
+	q, err := op.BuildQuery(findQuestion(t, "D5").Plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.OrderBy) != 1 || !q.OrderBy[0].Desc || q.Limit != 1 {
+		t.Errorf("superlative modifiers missing:\n%s", q)
+	}
+}
+
+func TestBuildQueryFilterPlan(t *testing.T) {
+	op, _ := testOperator(t)
+	q, err := op.BuildQuery(findQuestion(t, "D2").Plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Filters) != 1 {
+		t.Errorf("filter not carried over:\n%s", q)
+	}
+}
+
+func TestAnswerCountQuestion(t *testing.T) {
+	op, d := testOperator(t)
+	q := findQuestion(t, "X17")
+	answers, ok := op.Answer(context.Background(), q)
+	if !ok {
+		t.Fatal("X17 unprocessed")
+	}
+	gold, _ := qald.GoldAnswers(d.Store, q)
+	if qald.Judge(answers, gold) != qald.Right {
+		t.Errorf("X17 = %v, gold %v", answers.Values(), gold.Values())
+	}
+}
+
+func TestAnswerSuperlativeQuestion(t *testing.T) {
+	op, d := testOperator(t)
+	for _, id := range []string{"D5", "D9", "X16"} {
+		q := findQuestion(t, id)
+		answers, ok := op.Answer(context.Background(), q)
+		if !ok {
+			t.Errorf("%s unprocessed", id)
+			continue
+		}
+		gold, _ := qald.GoldAnswers(d.Store, q)
+		if qald.Judge(answers, gold) != qald.Right {
+			t.Errorf("%s = %v, gold %v", id, answers.Values(), gold.Values())
+		}
+	}
+}
+
+func TestReapplyModifiersOnRelaxedQuery(t *testing.T) {
+	op, _ := testOperator(t)
+	plan := findQuestion(t, "D5").Plan // ORDER BY DESC(?p) LIMIT 1 on population
+	// A relaxed-looking query containing the population predicate.
+	relaxed := sparql.MustParse(`SELECT * WHERE {
+		?v0 <http://dbpedia.org/ontology/country> ?v1 .
+		?v0 <http://dbpedia.org/ontology/populationTotal> ?v2 .
+	}`)
+	amended := op.reapplyModifiers(relaxed, plan)
+	if amended == nil {
+		t.Fatal("reapplyModifiers returned nil")
+	}
+	if len(amended.OrderBy) != 1 || amended.OrderBy[0].Var != "v2" || !amended.OrderBy[0].Desc {
+		t.Errorf("order not reapplied: %+v", amended.OrderBy)
+	}
+	if amended.Limit != 1 {
+		t.Errorf("limit = %d", amended.Limit)
+	}
+}
+
+func TestReapplyModifiersAddsMissingTriple(t *testing.T) {
+	op, _ := testOperator(t)
+	plan := findQuestion(t, "D5").Plan
+	// Relaxed query lost the population edge entirely.
+	relaxed := sparql.MustParse(`SELECT * WHERE {
+		?v0 <http://dbpedia.org/ontology/country> ?v1 .
+	}`)
+	amended := op.reapplyModifiers(relaxed, plan)
+	if amended == nil {
+		t.Fatal("reapplyModifiers returned nil")
+	}
+	if len(amended.Where) != 2 {
+		t.Errorf("missing quantity triple not re-added:\n%s", amended)
+	}
+	if len(amended.OrderBy) != 1 {
+		t.Errorf("order not applied: %+v", amended.OrderBy)
+	}
+}
+
+func TestMatchesIntent(t *testing.T) {
+	intended := []string{"Jack Kerouac", "Viking Press"}
+	cases := []struct {
+		suggested string
+		want      bool
+	}{
+		{"Jack Kerouac", true},
+		{"jack kerouac", true},
+		{"Jack Kerouacs", true}, // plural typo fix
+		{"Jack Torres", false},  // different person
+		{"Viking Press", true},
+		{"Penguin Books", false},
+	}
+	for _, tc := range cases {
+		if got := matchesIntent(tc.suggested, intended); got != tc.want {
+			t.Errorf("matchesIntent(%q) = %v, want %v", tc.suggested, got, tc.want)
+		}
+	}
+}
+
+func TestPickSuggestionEmpty(t *testing.T) {
+	if _, ok := pickSuggestion(nil, nil); ok {
+		t.Error("empty suggestion list accepted")
+	}
+}
+
+func TestExtractSingleColumn(t *testing.T) {
+	op, _ := testOperator(t)
+	res := &sparql.Results{Vars: []string{"x"}}
+	res.Rows = []sparql.Binding{{"x": rdf.NewIRI("http://a")}}
+	got := op.extract(res, qald.Plan{Project: "x"})
+	if len(got) != 1 || !got["http://a"] {
+		t.Errorf("extract = %v", got.Values())
+	}
+	// Empty results extract to empty set.
+	if got := op.extract(&sparql.Results{}, qald.Plan{}); len(got) != 0 {
+		t.Errorf("empty extract = %v", got.Values())
+	}
+}

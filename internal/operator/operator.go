@@ -1,0 +1,435 @@
+// Package operator simulates a person using Sapphire: it takes a
+// question plan (triple patterns written with question keywords), builds
+// a SPARQL query with the QCM's completions, executes it through the
+// federated processor, and — when the query returns nothing — accepts
+// QSM suggestions and retries, exactly like the participants in the
+// paper's user study (Section 7.1) and the Sapphire operator of the
+// Table 1 comparison (Section 7.2: "we only use terms from the question
+// ... we then use Sapphire's suggestions to complete and modify the
+// query until an answer is found").
+package operator
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"sapphire/internal/pum"
+	"sapphire/internal/qald"
+	"sapphire/internal/rdf"
+	"sapphire/internal/similarity"
+	"sapphire/internal/sparql"
+)
+
+// Operator drives one PUM instance.
+type Operator struct {
+	PUM *pum.PUM
+	// MaxAttempts bounds query-run rounds; the paper's participants gave
+	// up after 3–5 attempts.
+	MaxAttempts int
+	// Corrupt, when set, distorts keywords before resolution — the
+	// user-study noise model (typos, plural forms, synonym choices).
+	Corrupt func(keyword string) string
+}
+
+// New returns an operator with the paper's attempt bound.
+func New(p *pum.PUM) *Operator {
+	return &Operator{PUM: p, MaxAttempts: 5}
+}
+
+// Name implements qald.System.
+func (o *Operator) Name() string { return "Sapphire" }
+
+// Outcome captures one question attempt for the user-study metrics.
+type Outcome struct {
+	Answers  qald.AnswerSet
+	Attempts int
+	// UsedSuggestion records whether any QSM suggestion was accepted,
+	// and of which kinds (for the Section 7.3.2 usage statistics).
+	UsedAltPredicate bool
+	UsedAltLiteral   bool
+	UsedRelaxation   bool
+}
+
+// Answer implements qald.System.
+func (o *Operator) Answer(ctx context.Context, q qald.Question) (qald.AnswerSet, bool) {
+	out := o.Attempt(ctx, q)
+	if out == nil || len(out.Answers) == 0 {
+		return nil, false
+	}
+	return out.Answers, true
+}
+
+// Attempt runs the full interactive loop and reports details.
+func (o *Operator) Attempt(ctx context.Context, q qald.Question) *Outcome {
+	out := &Outcome{}
+	query, err := o.buildQuery(q.Plan, out)
+	if err != nil {
+		return nil
+	}
+	maxAttempts := o.MaxAttempts
+	if maxAttempts <= 0 {
+		maxAttempts = 5
+	}
+	for out.Attempts = 1; out.Attempts <= maxAttempts; out.Attempts++ {
+		res, err := o.fed().Eval(ctx, query)
+		if err == nil && !pum.EmptyResults(res) {
+			out.Answers = o.extract(res, q.Plan)
+			return out
+		}
+		// No answers: consult the QSM and accept the suggestion whose
+		// replacement stays closest to the original term (the user
+		// recognizes the intended entity among the alternatives).
+		sugs, err := o.PUM.Suggest(ctx, query)
+		if err != nil || len(sugs) == 0 {
+			return out
+		}
+		best, ok := pickSuggestion(sugs, intendedLiterals(q.Plan))
+		if !ok {
+			return out // nothing the user would accept
+		}
+		switch best.Kind {
+		case pum.AltPredicate:
+			out.UsedAltPredicate = true
+		case pum.AltLiteral:
+			out.UsedAltLiteral = true
+		case pum.Relaxation:
+			out.UsedRelaxation = true
+		}
+		query = best.Query
+		if best.Kind == pum.Relaxation && q.Plan.OrderDesc != "" {
+			// The relaxed query has fresh variables and no modifiers;
+			// the user re-adds ORDER BY/LIMIT in the modifier box
+			// (Figure 2) before re-running.
+			if amended := o.reapplyModifiers(query, q.Plan); amended != nil {
+				query = amended
+				continue
+			}
+		}
+		if best.Prefetched != nil && len(best.Prefetched.Rows) > 0 {
+			out.Attempts++
+			out.Answers = o.extract(best.Prefetched, q.Plan)
+			return out
+		}
+	}
+	return out
+}
+
+// reapplyModifiers transfers the plan's ORDER BY DESC/LIMIT onto a
+// relaxed query by locating the pattern that carries the ordered
+// quantity's predicate and ordering on its object variable. Returns nil
+// when the relaxed structure lost that predicate.
+func (o *Operator) reapplyModifiers(q *sparql.Query, plan qald.Plan) *sparql.Query {
+	var predIRI string
+	for _, tr := range plan.Triples {
+		if tr.O.Var == plan.OrderDesc && tr.P.Keyword != "" {
+			resolved := o.resolvePredicate(tr.P.Keyword, &Outcome{})
+			predIRI = strings.Trim(resolved, "<>")
+		}
+	}
+	if predIRI == "" {
+		return nil
+	}
+	nq := q.Clone()
+	for _, pat := range nq.Where {
+		if !pat.P.IsVar() && pat.P.Term.Value == predIRI && pat.O.IsVar() {
+			nq.OrderBy = []sparql.OrderKey{{Var: pat.O.Var, Desc: true}}
+			if plan.Limit > 0 {
+				nq.Limit = plan.Limit
+			}
+			return nq
+		}
+	}
+	// The quantity is missing from the relaxed tree: the user adds the
+	// triple back before ordering.
+	ordVar := "ord"
+	subj := answerVariable(nq)
+	if subj == "" {
+		return nil
+	}
+	nq.Where = append(nq.Where, sparql.Pattern{
+		S: sparql.NewVar(subj),
+		P: sparql.NewTermNode(rdf.NewIRI(predIRI)),
+		O: sparql.NewVar(ordVar),
+	})
+	nq.OrderBy = []sparql.OrderKey{{Var: ordVar, Desc: true}}
+	if plan.Limit > 0 {
+		nq.Limit = plan.Limit
+	}
+	return nq
+}
+
+// answerVariable guesses which variable of a relaxed query denotes the
+// entities of interest: the variable appearing as a subject most often.
+func answerVariable(q *sparql.Query) string {
+	counts := map[string]int{}
+	for _, pat := range q.Where {
+		if pat.S.IsVar() {
+			counts[pat.S.Var]++
+		}
+	}
+	best, bestN := "", 0
+	for v, n := range counts {
+		if n > bestN || (n == bestN && v < best) {
+			best, bestN = v, n
+		}
+	}
+	return best
+}
+
+func (o *Operator) fed() federationEval { return federationEval{o.PUM} }
+
+// federationEval gives the operator access to the PUM's federation via
+// the exported Suggest path; queries run through the same processor the
+// suggestions were prefetched on.
+type federationEval struct{ p *pum.PUM }
+
+func (f federationEval) Eval(ctx context.Context, q *sparql.Query) (*sparql.Results, error) {
+	return f.p.Execute(ctx, q)
+}
+
+// intendedLiterals collects the literal keywords of the plan — the
+// entity names the user actually has in mind (from the question text),
+// against which they judge the QSM's literal suggestions.
+func intendedLiterals(p qald.Plan) []string {
+	var out []string
+	for _, tr := range p.Triples {
+		if tr.O.IsLiteral && tr.O.Keyword != "" {
+			out = append(out, tr.O.Keyword)
+		}
+	}
+	return out
+}
+
+// pickSuggestion chooses the QSM suggestion a user would accept:
+//
+//   - a literal alternative only when it clearly names the entity they
+//     meant (a typo/plural fix of an intended literal) — "did you mean
+//     Jack Torres instead of Jack Kerouac?" gets rejected;
+//   - a predicate alternative freely (vocabulary is exactly what the
+//     user does not know), preferring ones reading like the typed term
+//     with many prefetched answers;
+//   - structure relaxation when no term fix is acceptable.
+//
+// The boolean is false when no suggestion would be accepted.
+func pickSuggestion(sugs []pum.Suggestion, intended []string) (pum.Suggestion, bool) {
+	maxAnswers := 1
+	for _, s := range sugs {
+		if s.Kind != pum.Relaxation && s.Answers > maxAnswers {
+			maxAnswers = s.Answers
+		}
+	}
+	best := -1
+	bestScore := -1.0
+	for i, s := range sugs {
+		switch s.Kind {
+		case pum.Relaxation:
+			continue
+		case pum.AltLiteral:
+			if !matchesIntent(s.New, intended) {
+				continue
+			}
+		}
+		sim := similarity.JaroWinkler(strings.ToLower(s.Old), strings.ToLower(s.New))
+		score := 0.7*sim + 0.3*float64(s.Answers)/float64(maxAnswers)
+		if score > bestScore {
+			bestScore = score
+			best = i
+		}
+	}
+	if best >= 0 {
+		return sugs[best], true
+	}
+	for _, s := range sugs {
+		if s.Kind == pum.Relaxation {
+			return s, true
+		}
+	}
+	return pum.Suggestion{}, false
+}
+
+// matchesIntent reports whether a suggested literal is recognizably one
+// of the user's intended entity names (equal up to case, or a near-exact
+// spelling variant).
+func matchesIntent(suggested string, intended []string) bool {
+	for _, want := range intended {
+		if strings.EqualFold(suggested, want) {
+			return true
+		}
+		if similarity.JaroWinkler(strings.ToLower(suggested), strings.ToLower(want)) >= 0.93 {
+			return true
+		}
+	}
+	return false
+}
+
+// BuildQuery resolves a plan into a SPARQL query using the QCM: every
+// keyword is typed into a text box and the matching completion chosen.
+// Unresolvable predicate keywords fall back to the QSM's per-term
+// alternatives (the UI validates and repairs triples one at a time);
+// keywords that still resolve to nothing stay as typed.
+func (o *Operator) BuildQuery(p qald.Plan) (*sparql.Query, error) {
+	return o.buildQuery(p, &Outcome{})
+}
+
+func (o *Operator) buildQuery(p qald.Plan, out *Outcome) (*sparql.Query, error) {
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	proj := "?" + p.Project
+	switch {
+	case p.Count:
+		fmt.Fprintf(&b, "(COUNT(DISTINCT %s) AS ?n)", proj)
+	default:
+		b.WriteString("DISTINCT " + proj)
+	}
+	b.WriteString(" WHERE {\n")
+	for _, tr := range p.Triples {
+		s, err := o.resolveNode(tr.S, posSubject, out)
+		if err != nil {
+			return nil, err
+		}
+		pr, err := o.resolveNode(tr.P, posPredicate, out)
+		if err != nil {
+			return nil, err
+		}
+		ob, err := o.resolveNode(tr.O, posObject, out)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(&b, "  %s %s %s .\n", s, pr, ob)
+	}
+	if p.Filter != "" {
+		fmt.Fprintf(&b, "  FILTER (%s)\n", p.Filter)
+	}
+	b.WriteString("}")
+	if p.OrderDesc != "" {
+		fmt.Fprintf(&b, " ORDER BY DESC(?%s)", p.OrderDesc)
+	}
+	if p.Limit > 0 {
+		fmt.Fprintf(&b, " LIMIT %d", p.Limit)
+	}
+	return sparql.Parse(b.String())
+}
+
+type position int
+
+const (
+	posSubject position = iota
+	posPredicate
+	posObject
+)
+
+// resolveNode turns one plan node into SPARQL text via the QCM.
+func (o *Operator) resolveNode(n qald.Node, pos position, out *Outcome) (string, error) {
+	if n.Var != "" {
+		return "?" + n.Var, nil
+	}
+	kw := n.Keyword
+	if o.Corrupt != nil {
+		kw = o.Corrupt(kw)
+	}
+	if pos == posPredicate || !n.IsLiteral {
+		return o.resolvePredicate(kw, out), nil
+	}
+	return o.resolveLiteral(kw), nil
+}
+
+// resolvePredicate maps a keyword to a predicate IRI: the user types it
+// and picks the best predicate completion. With no completion, the UI's
+// per-triple validation offers the QSM's term alternatives (lexicon
+// verbalizations + similarity) and the user takes the best; only if that
+// fails too does the term stay as typed (camel-cased under dbo:).
+func (o *Operator) resolvePredicate(kw string, out *Outcome) string {
+	cands := o.PUM.Complete(kw)
+	bestScore := -1.0
+	var best rdf.Term
+	for _, c := range cands {
+		if !c.IsPredicate {
+			continue
+		}
+		if preds := o.PUM.Cache().PredicatesFor(c.Text); len(preds) > 0 {
+			if s := similarity.JaroWinkler(kw, c.Text); s > bestScore {
+				bestScore = s
+				best = preds[0]
+			}
+		}
+	}
+	if bestScore >= 0 {
+		return best.String()
+	}
+	if alts := o.PUM.AlternativePredicates(kw); len(alts) > 0 {
+		out.UsedAltPredicate = true
+		return alts[0].Pred.String()
+	}
+	// Typed verbatim: camel-case the keyword into a dbo: IRI, as a user
+	// pasting a guessed predicate would.
+	return rdf.NewIRI(rdf.NSDBO + camel(kw)).String()
+}
+
+// resolveLiteral picks the completion closest to the keyword, falling
+// back to the keyword as an English literal.
+func (o *Operator) resolveLiteral(kw string) string {
+	cands := o.PUM.Complete(kw)
+	bestScore := -1.0
+	bestText := ""
+	for _, c := range cands {
+		if c.IsPredicate {
+			continue
+		}
+		if s := similarity.JaroWinkler(kw, c.Text); s > bestScore {
+			bestScore = s
+			bestText = c.Text
+		}
+	}
+	if bestText != "" {
+		if t, ok := o.PUM.Cache().LiteralTerm(bestText); ok {
+			return t.String()
+		}
+	}
+	return rdf.NewLangLiteral(kw, "en").String()
+}
+
+// extract pulls the answer column from results. For the plan's own
+// projection the single variable is used; relaxed SELECT * results use
+// the column with the most distinct values (the user recognizes the
+// answer column in the table).
+func (o *Operator) extract(res *sparql.Results, p qald.Plan) qald.AnswerSet {
+	out := make(qald.AnswerSet)
+	if len(res.Vars) == 0 {
+		return out
+	}
+	col := res.Vars[0]
+	if len(res.Vars) > 1 {
+		bestDistinct := -1
+		for _, v := range res.Vars {
+			seen := make(map[string]bool)
+			for _, row := range res.Rows {
+				seen[row[v].Value] = true
+			}
+			if len(seen) > bestDistinct {
+				bestDistinct = len(seen)
+				col = v
+			}
+		}
+	}
+	for _, row := range res.Rows {
+		if t, ok := row[col]; ok {
+			out[t.Value] = true
+		}
+	}
+	return out
+}
+
+// camel converts "vice president" to "vicePresident".
+func camel(s string) string {
+	words := strings.Fields(s)
+	if len(words) == 0 {
+		return s
+	}
+	var b strings.Builder
+	b.WriteString(strings.ToLower(words[0]))
+	for _, w := range words[1:] {
+		b.WriteString(strings.ToUpper(w[:1]) + strings.ToLower(w[1:]))
+	}
+	return b.String()
+}

@@ -1,0 +1,94 @@
+// Package pum implements the Predictive User Model, the core
+// contribution of the paper (Section 6): the Query Completion Module
+// (QCM, Section 6.1 / Figure 5) that autocompletes query terms from the
+// cached endpoint data, and the Query Suggestion Module (QSM, Section
+// 6.2) that proposes alternative query terms (Algorithm 2) and relaxed
+// query structures (Algorithm 3) after a query executes, prefetching
+// their answers so accepting a suggestion feels instantaneous.
+package pum
+
+import (
+	"context"
+
+	"sapphire/internal/bootstrap"
+	"sapphire/internal/federation"
+	"sapphire/internal/lexicon"
+	"sapphire/internal/similarity"
+	"sapphire/internal/sparql"
+	"sapphire/internal/steiner"
+)
+
+// Config carries the paper's tunables, with defaults from Sections 5–6.
+type Config struct {
+	// K is the number of suggestions to return (paper: k = 10).
+	K int
+	// Gamma bounds completion candidates to length |t|..|t|+Gamma
+	// (paper: γ = 10).
+	Gamma int
+	// Theta is the similarity threshold for alternatives (paper: 0.7).
+	Theta float64
+	// Alpha and Beta bound the literal-alternative search to lengths
+	// [|l|−Alpha, |l|+Beta] (paper: α = 2, β = 3).
+	Alpha, Beta int
+	// Workers is P, the parallel scan width (paper: number of cores).
+	Workers int
+	// Measure scores term similarity; nil means Jaro-Winkler, the
+	// paper's choice. Swappable for the ablation experiments.
+	Measure similarity.Measure
+	// Relax configures the Steiner-tree structure relaxation.
+	Relax steiner.Config
+	// MaxCandidates caps how many alternative queries are executed for
+	// prefetching per direction (predicates / literals).
+	MaxCandidates int
+}
+
+// DefaultConfig returns the parameters used throughout the paper.
+func DefaultConfig() Config {
+	return Config{
+		K:             10,
+		Gamma:         10,
+		Theta:         0.7,
+		Alpha:         2,
+		Beta:          3,
+		Workers:       8,
+		Measure:       similarity.JaroWinkler,
+		Relax:         steiner.DefaultConfig(),
+		MaxCandidates: 20,
+	}
+}
+
+// PUM binds the cached endpoint data, the lexicon, and the federated
+// query processor into the interactive model.
+type PUM struct {
+	cache *bootstrap.Cache
+	fed   *federation.Federation
+	lex   *lexicon.Lexicon
+	cfg   Config
+}
+
+// New assembles a PUM. A nil lexicon falls back to the built-in one; a
+// zero-value config is replaced by DefaultConfig.
+func New(cache *bootstrap.Cache, fed *federation.Federation, lex *lexicon.Lexicon, cfg Config) *PUM {
+	if lex == nil {
+		lex = lexicon.Default()
+	}
+	if cfg.K == 0 {
+		cfg = DefaultConfig()
+	}
+	if cfg.Measure == nil {
+		cfg.Measure = similarity.JaroWinkler
+	}
+	return &PUM{cache: cache, fed: fed, lex: lex, cfg: cfg}
+}
+
+// Cache exposes the underlying endpoint cache (for experiments).
+func (p *PUM) Cache() *bootstrap.Cache { return p.cache }
+
+// Execute runs a parsed query through the federated query processor, the
+// same path the Sapphire server uses when the user clicks "Run".
+func (p *PUM) Execute(ctx context.Context, q *sparql.Query) (*sparql.Results, error) {
+	return p.fed.Eval(ctx, q)
+}
+
+// Config returns the active configuration.
+func (p *PUM) Config() Config { return p.cfg }

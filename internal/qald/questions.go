@@ -1,0 +1,532 @@
+package qald
+
+// The question suite. Questions E1–E10, M1–M8, D1–D9 mirror the paper's
+// Appendix B user-study set; X1–X23 extend the suite to the QALD-5 size
+// of 50 questions. Gold queries are written against the synthetic
+// dataset of internal/datagen; every gold query projects exactly one
+// variable, which defines the answer set.
+//
+// Plans express each question the way a user would in Sapphire's
+// triple-pattern UI, using only terms from the question text — including
+// terms that do not match the dataset vocabulary ("wife", "born",
+// "starts in"), which is precisely what the QSM has to repair.
+
+// Questions returns the full 50-question suite.
+func Questions() []Question {
+	return append(append(append([]Question{}, easyQuestions()...),
+		mediumQuestions()...), difficultQuestions()...)
+}
+
+// ByDifficulty filters the suite.
+func ByDifficulty(qs []Question, d Difficulty) []Question {
+	var out []Question
+	for _, q := range qs {
+		if q.Difficulty == d {
+			out = append(out, q)
+		}
+	}
+	return out
+}
+
+// UserStudyQuestions returns the 27-question subset used in the paper's
+// user study (Appendix B).
+func UserStudyQuestions() []Question {
+	var out []Question
+	for _, q := range Questions() {
+		if q.ID[0] != 'X' {
+			out = append(out, q)
+		}
+	}
+	return out
+}
+
+func easyQuestions() []Question {
+	return []Question{
+		{
+			ID: "E1", Text: "Country in which the Ganges starts", Difficulty: Easy,
+			Gold: `SELECT ?c WHERE { ?r dbo:name "Ganges"@en . ?r dbo:sourceCountry ?c . }`,
+			Plan: Plan{Triples: []PlanTriple{
+				{V("r"), P("name"), L("Ganges")},
+				{V("r"), P("starts in"), V("c")},
+			}, Project: "c"},
+			Factoid: true, Relation: "starts in", EntityLiteral: "Ganges",
+		},
+		{
+			ID: "E2", Text: "John F. Kennedy's vice president", Difficulty: Easy,
+			Gold: `SELECT ?vp WHERE { ?p dbo:name "John F. Kennedy"@en . ?p dbo:vicePresident ?vp . }`,
+			Plan: Plan{Triples: []PlanTriple{
+				{V("p"), P("name"), L("John F. Kennedy")},
+				{V("p"), P("vice president"), V("vp")},
+			}, Project: "vp"},
+			Factoid: true, Relation: "vice president", EntityLiteral: "John F. Kennedy",
+		},
+		{
+			ID: "E3", Text: "Time zone of Salt Lake City", Difficulty: Easy,
+			Gold: `SELECT ?tz WHERE { ?c dbo:name "Salt Lake City"@en . ?c dbo:timeZone ?tz . }`,
+			Plan: Plan{Triples: []PlanTriple{
+				{V("c"), P("name"), L("Salt Lake City")},
+				{V("c"), P("time zone"), V("tz")},
+			}, Project: "tz"},
+			Factoid: true, Relation: "time zone", EntityLiteral: "Salt Lake City",
+		},
+		{
+			ID: "E4", Text: "Tom Hanks's wife", Difficulty: Easy,
+			Gold: `SELECT ?w WHERE { ?p dbo:name "Tom Hanks"@en . ?p dbo:spouse ?w . }`,
+			Plan: Plan{Triples: []PlanTriple{
+				{V("p"), P("name"), L("Tom Hanks")},
+				{V("p"), P("wife"), V("w")},
+			}, Project: "w"},
+			Factoid: true, Relation: "wife", EntityLiteral: "Tom Hanks",
+		},
+		{
+			ID: "E5", Text: "Children of Margaret Thatcher", Difficulty: Easy,
+			Gold: `SELECT ?c WHERE { ?p dbo:name "Margaret Thatcher"@en . ?p dbo:child ?c . }`,
+			Plan: Plan{Triples: []PlanTriple{
+				{V("p"), P("name"), L("Margaret Thatcher")},
+				{V("p"), P("children"), V("c")},
+			}, Project: "c"},
+			Factoid: true, Relation: "children", EntityLiteral: "Margaret Thatcher",
+		},
+		{
+			ID: "E6", Text: "Currency of the Czech Republic", Difficulty: Easy,
+			Gold: `SELECT ?cur WHERE { ?c dbo:name "Czech Republic"@en . ?c dbo:currency ?cur . }`,
+			Plan: Plan{Triples: []PlanTriple{
+				{V("c"), P("name"), L("Czech Republic")},
+				{V("c"), P("currency"), V("cur")},
+			}, Project: "cur"},
+			Factoid: true, Relation: "currency", EntityLiteral: "Czech Republic",
+		},
+		{
+			ID: "E7", Text: "Designer of the Brooklyn Bridge", Difficulty: Easy,
+			Gold: `SELECT ?d WHERE { ?b dbo:name "Brooklyn Bridge"@en . ?b dbo:designer ?d . }`,
+			Plan: Plan{Triples: []PlanTriple{
+				{V("b"), P("name"), L("Brooklyn Bridge")},
+				{V("b"), P("designer"), V("d")},
+			}, Project: "d"},
+			Factoid: true, Relation: "designer", EntityLiteral: "Brooklyn Bridge",
+		},
+		{
+			ID: "E8", Text: "Wife of U.S. president Abraham Lincoln", Difficulty: Easy,
+			Gold: `SELECT ?w WHERE { ?p dbo:name "Abraham Lincoln"@en . ?p dbo:spouse ?w . }`,
+			Plan: Plan{Triples: []PlanTriple{
+				{V("p"), P("name"), L("Abraham Lincoln")},
+				{V("p"), P("wife"), V("w")},
+			}, Project: "w"},
+			Factoid: true, Relation: "wife", EntityLiteral: "Abraham Lincoln",
+		},
+		{
+			ID: "E9", Text: "Creator of Wikipedia", Difficulty: Easy,
+			Gold: `SELECT ?c WHERE { ?w dbo:name "Wikipedia"@en . ?w dbo:creator ?c . }`,
+			Plan: Plan{Triples: []PlanTriple{
+				{V("w"), P("name"), L("Wikipedia")},
+				{V("w"), P("creator"), V("c")},
+			}, Project: "c"},
+			Factoid: true, Relation: "creator", EntityLiteral: "Wikipedia",
+		},
+		{
+			ID: "E10", Text: "Depth of Lake Placid", Difficulty: Easy,
+			Gold: `SELECT ?d WHERE { ?l dbo:name "Lake Placid"@en . ?l dbo:maximumDepth ?d . }`,
+			Plan: Plan{Triples: []PlanTriple{
+				{V("l"), P("name"), L("Lake Placid")},
+				{V("l"), P("depth"), V("d")},
+			}, Project: "d"},
+			Factoid: true, Relation: "depth", EntityLiteral: "Lake Placid",
+		},
+		{
+			ID: "X1", Text: "Capital of Australia", Difficulty: Easy,
+			Gold: `SELECT ?c WHERE { ?a dbo:name "Australia"@en . ?a dbo:capital ?c . }`,
+			Plan: Plan{Triples: []PlanTriple{
+				{V("a"), P("name"), L("Australia")},
+				{V("a"), P("capital"), V("c")},
+			}, Project: "c"},
+			Factoid: true, Relation: "capital", EntityLiteral: "Australia",
+		},
+		{
+			ID: "X2", Text: "Population of Sydney", Difficulty: Easy,
+			Gold: `SELECT ?p WHERE { ?c dbo:name "Sydney"@en . ?c dbo:populationTotal ?p . }`,
+			Plan: Plan{Triples: []PlanTriple{
+				{V("c"), P("name"), L("Sydney")},
+				{V("c"), P("population"), V("p")},
+			}, Project: "p"},
+			Factoid: true, Relation: "population", EntityLiteral: "Sydney",
+		},
+		{
+			ID: "X3", Text: "Country of Salt Lake City", Difficulty: Easy,
+			Gold: `SELECT ?co WHERE { ?c dbo:name "Salt Lake City"@en . ?c dbo:country ?co . }`,
+			Plan: Plan{Triples: []PlanTriple{
+				{V("c"), P("name"), L("Salt Lake City")},
+				{V("c"), P("country"), V("co")},
+			}, Project: "co"},
+			Factoid: true, Relation: "country", EntityLiteral: "Salt Lake City",
+		},
+		{
+			ID: "X4", Text: "Nickname of Frank Ricard", Difficulty: Easy,
+			Gold: `SELECT ?n WHERE { ?p dbo:name "Frank Ricard"@en . ?p dbo:nickname ?n . }`,
+			Plan: Plan{Triples: []PlanTriple{
+				{V("p"), P("name"), L("Frank Ricard")},
+				{V("p"), P("nickname"), V("n")},
+			}, Project: "n"},
+			Factoid: true, Relation: "nickname", EntityLiteral: "Frank Ricard",
+		},
+		{
+			ID: "X5", Text: "Birth year of Abraham Lincoln", Difficulty: Easy,
+			Gold: `SELECT ?y WHERE { ?p dbo:name "Abraham Lincoln"@en . ?p dbo:birthYear ?y . }`,
+			Plan: Plan{Triples: []PlanTriple{
+				{V("p"), P("name"), L("Abraham Lincoln")},
+				{V("p"), P("birth year"), V("y")},
+			}, Project: "y"},
+			Factoid: true, Relation: "birth year", EntityLiteral: "Abraham Lincoln",
+		},
+		{
+			ID: "X6", Text: "Parents of Queen Sofia", Difficulty: Easy,
+			Gold: `SELECT ?pa WHERE { ?p dbo:name "Queen Sofia"@en . ?p dbo:parent ?pa . }`,
+			Plan: Plan{Triples: []PlanTriple{
+				{V("p"), P("name"), L("Queen Sofia")},
+				{V("p"), P("parents"), V("pa")},
+			}, Project: "pa"},
+			Factoid: true, Relation: "parents", EntityLiteral: "Queen Sofia",
+		},
+		{
+			ID: "X9", Text: "Publisher of On the Road", Difficulty: Easy,
+			Gold: `SELECT ?p WHERE { ?b dbo:name "On the Road"@en . ?b dbo:publisher ?p . }`,
+			Plan: Plan{Triples: []PlanTriple{
+				{V("b"), P("name"), L("On the Road")},
+				{V("b"), P("published by"), V("p")},
+			}, Project: "p"},
+			Factoid: true, Relation: "published by", EntityLiteral: "On the Road",
+		},
+		{
+			ID: "X10", Text: "Author of Doctor Sax", Difficulty: Easy,
+			Gold: `SELECT ?a WHERE { ?b dbo:name "Doctor Sax"@en . ?b dbo:author ?a . }`,
+			Plan: Plan{Triples: []PlanTriple{
+				{V("b"), P("name"), L("Doctor Sax")},
+				{V("b"), P("author"), V("a")},
+			}, Project: "a"},
+			Factoid: true, Relation: "author", EntityLiteral: "Doctor Sax",
+		},
+		{
+			ID: "X22", Text: "Wife of Juan Carlos I", Difficulty: Easy,
+			Gold: `SELECT ?w WHERE { ?p dbo:name "Juan Carlos I"@en . ?p dbo:spouse ?w . }`,
+			Plan: Plan{Triples: []PlanTriple{
+				{V("p"), P("name"), L("Juan Carlos I")},
+				{V("p"), P("wife"), V("w")},
+			}, Project: "w"},
+			Factoid: true, Relation: "wife", EntityLiteral: "Juan Carlos I",
+		},
+	}
+}
+
+func mediumQuestions() []Question {
+	return []Question{
+		{
+			ID: "M1", Text: "Instruments played by Cat Stevens", Difficulty: Medium,
+			Gold: `SELECT ?i WHERE { ?p dbo:name "Cat Stevens"@en . ?p dbo:instrument ?i . }`,
+			Plan: Plan{Triples: []PlanTriple{
+				{V("p"), P("name"), L("Cat Stevens")},
+				{V("p"), P("instruments"), V("i")},
+			}, Project: "i"},
+			Factoid: true, Relation: "instruments", EntityLiteral: "Cat Stevens",
+		},
+		{
+			ID: "M2", Text: "Parents of the wife of Juan Carlos I", Difficulty: Medium,
+			Gold: `SELECT ?pa WHERE { ?j dbo:name "Juan Carlos I"@en . ?j dbo:spouse ?w . ?w dbo:parent ?pa . }`,
+			Plan: Plan{Triples: []PlanTriple{
+				{V("j"), P("name"), L("Juan Carlos I")},
+				{V("j"), P("wife"), V("w")},
+				{V("w"), P("parents"), V("pa")},
+			}, Project: "pa"},
+			Relation: "wife", EntityLiteral: "Juan Carlos I",
+		},
+		{
+			ID: "M3", Text: "U.S. state in which Fort Knox is located", Difficulty: Medium,
+			Gold: `SELECT ?s WHERE { ?f dbo:name "Fort Knox"@en . ?f dbo:state ?s . }`,
+			Plan: Plan{Triples: []PlanTriple{
+				{V("f"), P("name"), L("Fort Knox")},
+				{V("f"), P("state"), V("s")},
+			}, Project: "s"},
+			Factoid: true, Relation: "state", EntityLiteral: "Fort Knox",
+		},
+		{
+			ID: "M4", Text: "Person who is called Frank The Tank", Difficulty: Medium,
+			Gold: `SELECT ?p WHERE { ?p dbo:nickname "Frank The Tank"@en . }`,
+			Plan: Plan{Triples: []PlanTriple{
+				{V("p"), P("called"), L("Frank The Tank")},
+			}, Project: "p"},
+			Factoid: true, Relation: "called", EntityLiteral: "Frank The Tank",
+		},
+		{
+			ID: "M5", Text: "Birthdays of all actors of the television show Charmed", Difficulty: Medium,
+			Gold: `SELECT ?b WHERE { ?show dbo:name "Charmed"@en . ?show dbo:starring ?a . ?a dbo:birthDate ?b . }`,
+			Plan: Plan{Triples: []PlanTriple{
+				{V("show"), P("name"), L("Charmed")},
+				{V("show"), P("actors"), V("a")},
+				{V("a"), P("birthdays"), V("b")},
+			}, Project: "b"},
+			Relation: "actors", EntityLiteral: "Charmed",
+		},
+		{
+			ID: "M6", Text: "Country in which the Limerick Lake is located", Difficulty: Medium,
+			Gold: `SELECT ?c WHERE { ?l dbo:name "Limerick Lake"@en . ?l dbo:country ?c . }`,
+			Plan: Plan{Triples: []PlanTriple{
+				{V("l"), P("name"), L("Limerick Lake")},
+				{V("l"), P("country"), V("c")},
+			}, Project: "c"},
+			Factoid: true, Relation: "country", EntityLiteral: "Limerick Lake",
+		},
+		{
+			ID: "M7", Text: "Person to which Robert F. Kennedy's daughter is married", Difficulty: Medium,
+			Gold: `SELECT ?m WHERE { ?r dbo:name "Robert F. Kennedy"@en . ?r dbo:child ?d . ?d dbo:spouse ?m . }`,
+			Plan: Plan{Triples: []PlanTriple{
+				{V("r"), P("name"), L("Robert F. Kennedy")},
+				{V("r"), P("daughter"), V("d")},
+				{V("d"), P("married"), V("m")},
+			}, Project: "m"},
+			Relation: "daughter", EntityLiteral: "Robert F. Kennedy",
+		},
+		{
+			ID: "M8", Text: "Number of people living in the capital of Australia", Difficulty: Medium,
+			Gold: `SELECT ?pop WHERE { ?a dbo:name "Australia"@en . ?a dbo:capital ?c . ?c dbo:populationTotal ?pop . }`,
+			Plan: Plan{Triples: []PlanTriple{
+				{V("a"), P("name"), L("Australia")},
+				{V("a"), P("capital"), V("c")},
+				{V("c"), P("number of people"), V("pop")},
+			}, Project: "pop"},
+			Relation: "capital", EntityLiteral: "Australia",
+		},
+		{
+			ID: "X7", Text: "Books by Jack Kerouac", Difficulty: Medium,
+			Gold: `SELECT ?b WHERE { ?b dbo:author ?a . ?a dbo:name "Jack Kerouac"@en . }`,
+			Plan: Plan{Triples: []PlanTriple{
+				{V("b"), P("written by"), V("a")},
+				{V("a"), P("name"), L("Jack Kerouac")},
+			}, Project: "b"},
+			Factoid: true, Relation: "written by", EntityLiteral: "Jack Kerouac",
+		},
+		{
+			ID: "X8", Text: "Films directed by Steven Spielberg", Difficulty: Medium,
+			Gold: `SELECT ?f WHERE { ?f dbo:director ?d . ?d dbo:name "Steven Spielberg"@en . }`,
+			Plan: Plan{Triples: []PlanTriple{
+				{V("f"), P("directed by"), V("d")},
+				{V("d"), P("name"), L("Steven Spielberg")},
+			}, Project: "f"},
+			Factoid: true, Relation: "directed by", EntityLiteral: "Steven Spielberg",
+		},
+		{
+			ID: "X11", Text: "Films starring Clint Eastwood", Difficulty: Medium,
+			Gold: `SELECT ?f WHERE { ?f dbo:starring ?a . ?a dbo:name "Clint Eastwood"@en . }`,
+			Plan: Plan{Triples: []PlanTriple{
+				{V("f"), P("starring"), V("a")},
+				{V("a"), P("name"), L("Clint Eastwood")},
+			}, Project: "f"},
+			Factoid: true, Relation: "starring", EntityLiteral: "Clint Eastwood",
+		},
+		{
+			ID: "X12", Text: "Cities in Canada", Difficulty: Medium,
+			Gold: `SELECT ?c WHERE { ?c a dbo:City . ?c dbo:country ?ca . ?ca dbo:name "Canada"@en . }`,
+			Plan: Plan{Triples: []PlanTriple{
+				{V("c"), P("type"), V("t")},
+				{V("t"), P("label"), L("City")},
+				{V("c"), P("country"), V("ca")},
+				{V("ca"), P("name"), L("Canada")},
+			}, Project: "c"},
+			Relation: "country", EntityLiteral: "Canada",
+		},
+		{
+			ID: "X13", Text: "Universities affiliated with the Ivy League", Difficulty: Medium,
+			Gold: `SELECT ?u WHERE { ?u dbo:affiliation ?i . ?i dbo:name "Ivy League"@en . }`,
+			Plan: Plan{Triples: []PlanTriple{
+				{V("u"), P("member of"), V("i")},
+				{V("i"), P("name"), L("Ivy League")},
+			}, Project: "u"},
+			Factoid: true, Relation: "member of", EntityLiteral: "Ivy League",
+		},
+		{
+			ID: "X14", Text: "Scientists who studied at Princeton University", Difficulty: Medium,
+			Gold: `SELECT ?s WHERE { ?s dbo:almaMater ?u . ?u dbo:name "Princeton University"@en . }`,
+			Plan: Plan{Triples: []PlanTriple{
+				{V("s"), P("studied at"), V("u")},
+				{V("u"), P("name"), L("Princeton University")},
+			}, Project: "s"},
+			Factoid: true, Relation: "studied at", EntityLiteral: "Princeton University",
+		},
+		{
+			ID: "X15", Text: "Books with more than 700 pages", Difficulty: Medium,
+			Gold: `SELECT ?b WHERE { ?b dbo:numberOfPages ?n . FILTER (?n > 700) }`,
+			Plan: Plan{Triples: []PlanTriple{
+				{V("b"), P("pages"), V("n")},
+			}, Filter: "?n > 700", Project: "b"},
+			Relation: "pages",
+		},
+		{
+			ID: "X19", Text: "Chess players born in Moscow", Difficulty: Medium,
+			Gold: `SELECT ?p WHERE { ?p a dbo:ChessPlayer . ?p dbo:birthPlace ?m . ?m dbo:name "Moscow"@en . }`,
+			Plan: Plan{Triples: []PlanTriple{
+				{V("p"), P("type"), V("t")},
+				{V("t"), P("label"), L("Chess Player")},
+				{V("p"), P("born in"), V("m")},
+				{V("m"), P("name"), L("Moscow")},
+			}, Project: "p"},
+			Relation: "born in", EntityLiteral: "Moscow",
+		},
+		{
+			ID: "X20", Text: "Companies that work in the Aerospace industry", Difficulty: Medium,
+			Gold: `SELECT ?c WHERE { ?c dbo:industry ?i . ?i dbo:name "Aerospace"@en . }`,
+			Plan: Plan{Triples: []PlanTriple{
+				{V("c"), P("works in"), V("i")},
+				{V("i"), P("name"), L("Aerospace")},
+			}, Project: "c"},
+			Factoid: true, Relation: "works in", EntityLiteral: "Aerospace",
+		},
+		{
+			ID: "X21", Text: "Lakes in the United States", Difficulty: Medium,
+			Gold: `SELECT ?l WHERE { ?l a dbo:Lake . ?l dbo:country ?c . ?c dbo:name "United States"@en . }`,
+			Plan: Plan{Triples: []PlanTriple{
+				{V("l"), P("type"), V("t")},
+				{V("t"), P("label"), L("Lake")},
+				{V("l"), P("country"), V("c")},
+				{V("c"), P("name"), L("United States")},
+			}, Project: "l"},
+			Relation: "country", EntityLiteral: "United States",
+		},
+	}
+}
+
+func difficultQuestions() []Question {
+	return []Question{
+		{
+			ID: "D1", Text: "Chess players who died in the same place they were born in", Difficulty: Difficult,
+			Gold: `SELECT ?p WHERE { ?p a dbo:ChessPlayer . ?p dbo:birthPlace ?x . ?p dbo:deathPlace ?x . }`,
+			Plan: Plan{Triples: []PlanTriple{
+				{V("p"), P("type"), V("t")},
+				{V("t"), P("label"), L("Chess Player")},
+				{V("p"), P("born in"), V("x")},
+				{V("p"), P("died in"), V("x")},
+			}, Project: "p"},
+			Relation: "born in",
+		},
+		{
+			ID: "D2", Text: "Books by William Goldman with more than 300 pages", Difficulty: Difficult,
+			Gold: `SELECT ?b WHERE { ?b dbo:author ?a . ?a dbo:name "William Goldman"@en . ?b dbo:numberOfPages ?n . FILTER (?n > 300) }`,
+			Plan: Plan{Triples: []PlanTriple{
+				{V("b"), P("written by"), V("a")},
+				{V("a"), P("name"), L("William Goldman")},
+				{V("b"), P("pages"), V("n")},
+			}, Filter: "?n > 300", Project: "b"},
+			Relation: "written by", EntityLiteral: "William Goldman",
+		},
+		{
+			ID: "D3", Text: "Books by Jack Kerouac which were published by Viking Press", Difficulty: Difficult,
+			Gold: `SELECT ?b WHERE { ?b dbo:author ?a . ?a dbo:name "Jack Kerouac"@en . ?b dbo:publisher ?p . ?p dbo:name "Viking Press"@en . }`,
+			Plan: Plan{Triples: []PlanTriple{
+				{V("b"), P("written by"), V("a")},
+				{V("a"), P("name"), L("Jack Kerouac")},
+				{V("b"), P("published by"), V("p")},
+				{V("p"), P("name"), L("Viking Press")},
+			}, Project: "b"},
+			Relation: "written by", EntityLiteral: "Jack Kerouac",
+		},
+		{
+			ID: "D4", Text: "Films directed by Steven Spielberg with a budget of at least $80 million", Difficulty: Difficult,
+			Gold: `SELECT ?f WHERE { ?f dbo:director ?d . ?d dbo:name "Steven Spielberg"@en . ?f dbo:budget ?b . FILTER (?b >= 80000000) }`,
+			Plan: Plan{Triples: []PlanTriple{
+				{V("f"), P("directed by"), V("d")},
+				{V("d"), P("name"), L("Steven Spielberg")},
+				{V("f"), P("budget"), V("b")},
+			}, Filter: "?b >= 80000000", Project: "f"},
+			Relation: "directed by", EntityLiteral: "Steven Spielberg",
+		},
+		{
+			ID: "D5", Text: "Most populous city in Australia", Difficulty: Difficult,
+			Gold: `SELECT ?c WHERE { ?c a dbo:City . ?c dbo:country ?a . ?a dbo:name "Australia"@en . ?c dbo:populationTotal ?p . } ORDER BY DESC(?p) LIMIT 1`,
+			Plan: Plan{Triples: []PlanTriple{
+				{V("c"), P("type"), V("t")},
+				{V("t"), P("label"), L("City")},
+				{V("c"), P("country"), V("a")},
+				{V("a"), P("name"), L("Australia")},
+				{V("c"), P("number of people"), V("p")},
+			}, OrderDesc: "p", Limit: 1, Project: "c"},
+			Relation: "number of people", EntityLiteral: "Australia",
+		},
+		{
+			ID: "D6", Text: "Films starring Clint Eastwood directed by himself", Difficulty: Difficult,
+			Gold: `SELECT ?f WHERE { ?f dbo:director ?d . ?d dbo:name "Clint Eastwood"@en . ?f dbo:starring ?d . }`,
+			Plan: Plan{Triples: []PlanTriple{
+				{V("f"), P("directed by"), V("d")},
+				{V("d"), P("name"), L("Clint Eastwood")},
+				{V("f"), P("starring"), V("d")},
+			}, Project: "f"},
+			Relation: "starring", EntityLiteral: "Clint Eastwood",
+		},
+		{
+			ID: "D7", Text: "Presidents born in 1945", Difficulty: Difficult,
+			Gold: `SELECT ?p WHERE { ?p a dbo:President . ?p dbo:birthYear ?y . FILTER (?y = 1945) }`,
+			Plan: Plan{Triples: []PlanTriple{
+				{V("p"), P("type"), V("t")},
+				{V("t"), P("label"), L("President")},
+				{V("p"), P("born"), V("y")},
+			}, Filter: "?y = 1945", Project: "p"},
+			Relation: "born",
+		},
+		{
+			ID: "D8", Text: "Find each company that works in both the aerospace and medicine industries", Difficulty: Difficult,
+			Gold: `SELECT ?c WHERE { ?c dbo:industry ?i1 . ?i1 dbo:name "Aerospace"@en . ?c dbo:industry ?i2 . ?i2 dbo:name "Medicine"@en . }`,
+			Plan: Plan{Triples: []PlanTriple{
+				{V("c"), P("works in"), V("i1")},
+				{V("i1"), P("name"), L("Aerospace")},
+				{V("c"), P("works in"), V("i2")},
+				{V("i2"), P("name"), L("Medicine")},
+			}, Project: "c"},
+			Relation: "works in", EntityLiteral: "Aerospace",
+		},
+		{
+			ID: "D9", Text: "Number of inhabitants of the most populous city in Canada", Difficulty: Difficult,
+			Gold: `SELECT ?p WHERE { ?c a dbo:City . ?c dbo:country ?ca . ?ca dbo:name "Canada"@en . ?c dbo:populationTotal ?p . } ORDER BY DESC(?p) LIMIT 1`,
+			Plan: Plan{Triples: []PlanTriple{
+				{V("c"), P("type"), V("t")},
+				{V("t"), P("label"), L("City")},
+				{V("c"), P("country"), V("ca")},
+				{V("ca"), P("name"), L("Canada")},
+				{V("c"), P("inhabitants"), V("p")},
+			}, OrderDesc: "p", Limit: 1, Project: "p"},
+			Relation: "inhabitants", EntityLiteral: "Canada",
+		},
+		{
+			ID: "X16", Text: "Most populous city in Canada", Difficulty: Difficult,
+			Gold: `SELECT ?c WHERE { ?c a dbo:City . ?c dbo:country ?ca . ?ca dbo:name "Canada"@en . ?c dbo:populationTotal ?p . } ORDER BY DESC(?p) LIMIT 1`,
+			Plan: Plan{Triples: []PlanTriple{
+				{V("c"), P("type"), V("t")},
+				{V("t"), P("label"), L("City")},
+				{V("c"), P("country"), V("ca")},
+				{V("ca"), P("name"), L("Canada")},
+				{V("c"), P("population"), V("p")},
+			}, OrderDesc: "p", Limit: 1, Project: "c"},
+			Relation: "population", EntityLiteral: "Canada",
+		},
+		{
+			ID: "X17", Text: "Number of books by Jack Kerouac", Difficulty: Difficult,
+			Gold: `SELECT (COUNT(DISTINCT ?b) AS ?n) WHERE { ?b dbo:author ?a . ?a dbo:name "Jack Kerouac"@en . }`,
+			Plan: Plan{Triples: []PlanTriple{
+				{V("b"), P("written by"), V("a")},
+				{V("a"), P("name"), L("Jack Kerouac")},
+			}, Count: true, Project: "b"},
+			Relation: "written by", EntityLiteral: "Jack Kerouac",
+		},
+		{
+			ID: "X18", Text: "Number of films directed by Clint Eastwood", Difficulty: Difficult,
+			Gold: `SELECT (COUNT(DISTINCT ?f) AS ?n) WHERE { ?f dbo:director ?d . ?d dbo:name "Clint Eastwood"@en . }`,
+			Plan: Plan{Triples: []PlanTriple{
+				{V("f"), P("directed by"), V("d")},
+				{V("d"), P("name"), L("Clint Eastwood")},
+			}, Count: true, Project: "f"},
+			Relation: "directed by", EntityLiteral: "Clint Eastwood",
+		},
+		{
+			ID: "X23", Text: "Films with a budget of at least 100 million dollars", Difficulty: Difficult,
+			Gold: `SELECT ?f WHERE { ?f dbo:budget ?b . FILTER (?b >= 100000000) }`,
+			Plan: Plan{Triples: []PlanTriple{
+				{V("f"), P("budget"), V("b")},
+			}, Filter: "?b >= 100000000", Project: "f"},
+			Relation: "budget",
+		},
+	}
+}

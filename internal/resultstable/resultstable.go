@@ -1,0 +1,222 @@
+// Package resultstable implements the answer-table operations of Section
+// 4 and Figure 4: after a query executes, the user can filter the
+// answers with a keyword search box, order them by any column, show and
+// hide columns, and prepare a printable version. The table also supports
+// the drag-and-drop affordance's data side: extracting a cell's term so
+// it can be dropped into a query text box for a follow-up query.
+package resultstable
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"sapphire/internal/rdf"
+	"sapphire/internal/sparql"
+)
+
+// Table is an interactive view over a result set. The underlying results
+// are never mutated; every operation adjusts the view.
+type Table struct {
+	res *sparql.Results
+	// visible marks shown columns, in display order.
+	visible []string
+	// rowIdx holds the currently visible row indexes (after filtering),
+	// in display order (after sorting).
+	rowIdx []int
+	// filter is the active keyword, "" for none.
+	filter string
+	// sortBy and sortDesc describe the active ordering.
+	sortBy   string
+	sortDesc bool
+}
+
+// New wraps a result set; all columns visible, original order.
+func New(res *sparql.Results) *Table {
+	t := &Table{res: res}
+	t.visible = append(t.visible, res.Vars...)
+	t.reindex()
+	return t
+}
+
+// Columns returns the visible columns in display order.
+func (t *Table) Columns() []string { return append([]string(nil), t.visible...) }
+
+// AllColumns returns every column of the underlying results.
+func (t *Table) AllColumns() []string { return append([]string(nil), t.res.Vars...) }
+
+// Rows returns the number of visible rows.
+func (t *Table) Rows() int { return len(t.rowIdx) }
+
+// Cell returns the term at visible row i, column name.
+func (t *Table) Cell(i int, col string) (rdf.Term, bool) {
+	if i < 0 || i >= len(t.rowIdx) {
+		return rdf.Term{}, false
+	}
+	term, ok := t.res.Rows[t.rowIdx[i]][col]
+	return term, ok
+}
+
+// HideColumn removes a column from the view ("controls the visibility of
+// columns", Figure 4). Hiding an unknown or already hidden column is a
+// no-op.
+func (t *Table) HideColumn(col string) {
+	for i, v := range t.visible {
+		if v == col {
+			t.visible = append(t.visible[:i], t.visible[i+1:]...)
+			return
+		}
+	}
+}
+
+// ShowColumn re-adds a hidden column at the end of the display order.
+func (t *Table) ShowColumn(col string) {
+	for _, v := range t.visible {
+		if v == col {
+			return
+		}
+	}
+	for _, v := range t.res.Vars {
+		if v == col {
+			t.visible = append(t.visible, col)
+			return
+		}
+	}
+}
+
+// Filter applies the keyword search box: only rows where some visible
+// cell contains the keyword (case-insensitively) remain. An empty
+// keyword clears the filter. Mirrors Figure 4's filtering of 1,051
+// Kennedy answers by "john".
+func (t *Table) Filter(keyword string) {
+	t.filter = strings.ToLower(strings.TrimSpace(keyword))
+	t.reindex()
+}
+
+// SortBy orders the visible rows by a column, numerically when every
+// value parses as a number, lexically otherwise.
+func (t *Table) SortBy(col string, desc bool) {
+	t.sortBy, t.sortDesc = col, desc
+	t.reindex()
+}
+
+// reindex recomputes rowIdx from filter and sort state.
+func (t *Table) reindex() {
+	t.rowIdx = t.rowIdx[:0]
+	for i, row := range t.res.Rows {
+		if t.matches(row) {
+			t.rowIdx = append(t.rowIdx, i)
+		}
+	}
+	if t.sortBy == "" {
+		return
+	}
+	col := t.sortBy
+	numeric := len(t.rowIdx) > 0
+	for _, ri := range t.rowIdx {
+		if v, ok := t.res.Rows[ri][col]; ok {
+			if _, err := strconv.ParseFloat(v.Value, 64); err != nil {
+				numeric = false
+				break
+			}
+		}
+	}
+	sort.SliceStable(t.rowIdx, func(a, b int) bool {
+		va := t.res.Rows[t.rowIdx[a]][col]
+		vb := t.res.Rows[t.rowIdx[b]][col]
+		var less bool
+		if numeric {
+			fa, _ := strconv.ParseFloat(va.Value, 64)
+			fb, _ := strconv.ParseFloat(vb.Value, 64)
+			less = fa < fb
+		} else {
+			less = va.Value < vb.Value
+		}
+		if t.sortDesc {
+			return !less && va.Value != vb.Value
+		}
+		return less
+	})
+}
+
+func (t *Table) matches(row sparql.Binding) bool {
+	if t.filter == "" {
+		return true
+	}
+	for _, col := range t.visible {
+		if v, ok := row[col]; ok {
+			if strings.Contains(strings.ToLower(v.Value), t.filter) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// DragTerm returns the term of a cell in the textual form the query
+// composer expects when the user drags an answer into a query text box:
+// IRIs in angle brackets, literals with tags — directly pasteable into a
+// triple pattern.
+func (t *Table) DragTerm(i int, col string) (string, bool) {
+	term, ok := t.Cell(i, col)
+	if !ok {
+		return "", false
+	}
+	return term.String(), true
+}
+
+// Print renders the visible view as an aligned text table — Figure 4's
+// "printable version".
+func (t *Table) Print(w io.Writer) {
+	widths := make([]int, len(t.visible))
+	for i, col := range t.visible {
+		widths[i] = len(col)
+	}
+	cells := make([][]string, t.Rows())
+	for r := 0; r < t.Rows(); r++ {
+		cells[r] = make([]string, len(t.visible))
+		for c, col := range t.visible {
+			v, _ := t.Cell(r, col)
+			s := displayValue(v)
+			cells[r][c] = s
+			if len(s) > widths[c] {
+				widths[c] = len(s)
+			}
+		}
+	}
+	for i, col := range t.visible {
+		fmt.Fprintf(w, "%-*s  ", widths[i], col)
+	}
+	fmt.Fprintln(w)
+	for i := range t.visible {
+		fmt.Fprintf(w, "%s  ", strings.Repeat("-", widths[i]))
+	}
+	fmt.Fprintln(w)
+	for _, row := range cells {
+		for c, s := range row {
+			fmt.Fprintf(w, "%-*s  ", widths[c], s)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// displayValue renders a term the way the UI shows it: IRIs by local
+// name, literals by lexical form.
+func displayValue(t rdf.Term) string {
+	switch t.Kind {
+	case rdf.KindIRI:
+		s := t.Value
+		if i := strings.LastIndexAny(s, "/#"); i >= 0 && i+1 < len(s) {
+			return s[i+1:]
+		}
+		return s
+	case rdf.KindLiteral:
+		return t.Value
+	case rdf.KindBlank:
+		return "_:" + t.Value
+	default:
+		return ""
+	}
+}

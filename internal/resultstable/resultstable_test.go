@@ -1,0 +1,190 @@
+package resultstable
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"sapphire/internal/rdf"
+	"sapphire/internal/sparql"
+)
+
+// kennedyResults builds a small version of Figure 4's answer table:
+// persons with surnames, filterable by "john".
+func kennedyResults() *sparql.Results {
+	mk := func(person, name string, born int) sparql.Binding {
+		return sparql.Binding{
+			"person": rdf.NewIRI("http://dbpedia.org/resource/" + person),
+			"name":   rdf.NewLangLiteral(name, "en"),
+			"born":   rdf.NewTypedLiteral(itoa(born), rdf.XSDInteger),
+		}
+	}
+	return &sparql.Results{
+		Vars: []string{"person", "name", "born"},
+		Rows: []sparql.Binding{
+			mk("John_F._Kennedy", "John F. Kennedy", 1917),
+			mk("Robert_F._Kennedy", "Robert F. Kennedy", 1925),
+			mk("Ted_Kennedy", "Ted Kennedy", 1932),
+			mk("John_Kennedy_Jr", "John Kennedy Jr", 1960),
+		},
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b []byte
+	for n > 0 {
+		b = append([]byte{byte('0' + n%10)}, b...)
+		n /= 10
+	}
+	return string(b)
+}
+
+func TestFilterKeyword(t *testing.T) {
+	tab := New(kennedyResults())
+	if tab.Rows() != 4 {
+		t.Fatalf("rows = %d", tab.Rows())
+	}
+	// The Figure 4 scenario: filter 1,051 answers by "john".
+	tab.Filter("john")
+	if tab.Rows() != 2 {
+		t.Fatalf("filtered rows = %d, want 2", tab.Rows())
+	}
+	for i := 0; i < tab.Rows(); i++ {
+		v, _ := tab.Cell(i, "name")
+		if !strings.Contains(strings.ToLower(v.Value), "john") {
+			t.Errorf("row %d = %q does not match filter", i, v.Value)
+		}
+	}
+	// Clearing restores everything.
+	tab.Filter("")
+	if tab.Rows() != 4 {
+		t.Errorf("rows after clear = %d", tab.Rows())
+	}
+}
+
+func TestFilterIsCaseInsensitive(t *testing.T) {
+	tab := New(kennedyResults())
+	tab.Filter("TED")
+	if tab.Rows() != 1 {
+		t.Errorf("rows = %d, want 1", tab.Rows())
+	}
+}
+
+func TestSortByColumn(t *testing.T) {
+	tab := New(kennedyResults())
+	tab.SortBy("born", false)
+	first, _ := tab.Cell(0, "name")
+	if first.Value != "John F. Kennedy" {
+		t.Errorf("ascending first = %q", first.Value)
+	}
+	tab.SortBy("born", true)
+	first, _ = tab.Cell(0, "name")
+	if first.Value != "John Kennedy Jr" {
+		t.Errorf("descending first = %q", first.Value)
+	}
+	// Lexical sort on a string column ("person" column of Figure 4).
+	tab.SortBy("name", false)
+	first, _ = tab.Cell(0, "name")
+	if first.Value != "John F. Kennedy" {
+		t.Errorf("lexical first = %q", first.Value)
+	}
+}
+
+func TestSortSurvivesFilter(t *testing.T) {
+	tab := New(kennedyResults())
+	tab.SortBy("born", true)
+	tab.Filter("john")
+	if tab.Rows() != 2 {
+		t.Fatalf("rows = %d", tab.Rows())
+	}
+	a, _ := tab.Cell(0, "born")
+	b, _ := tab.Cell(1, "born")
+	if a.Value != "1960" || b.Value != "1917" {
+		t.Errorf("order after filter = %s, %s", a.Value, b.Value)
+	}
+}
+
+func TestHideShowColumns(t *testing.T) {
+	tab := New(kennedyResults())
+	tab.HideColumn("born")
+	if len(tab.Columns()) != 2 {
+		t.Fatalf("columns = %v", tab.Columns())
+	}
+	// Hidden column no longer participates in filtering.
+	tab.Filter("1917")
+	if tab.Rows() != 0 {
+		t.Errorf("hidden column matched filter: %d rows", tab.Rows())
+	}
+	tab.Filter("")
+	tab.ShowColumn("born")
+	if len(tab.Columns()) != 3 {
+		t.Errorf("columns after show = %v", tab.Columns())
+	}
+	// Unknown and duplicate operations are no-ops.
+	tab.ShowColumn("born")
+	tab.ShowColumn("nonexistent")
+	tab.HideColumn("nonexistent")
+	if len(tab.Columns()) != 3 {
+		t.Errorf("no-op operations changed columns: %v", tab.Columns())
+	}
+	if len(tab.AllColumns()) != 3 {
+		t.Errorf("AllColumns = %v", tab.AllColumns())
+	}
+}
+
+func TestCellBounds(t *testing.T) {
+	tab := New(kennedyResults())
+	if _, ok := tab.Cell(-1, "name"); ok {
+		t.Error("negative row ok")
+	}
+	if _, ok := tab.Cell(99, "name"); ok {
+		t.Error("overflow row ok")
+	}
+	if _, ok := tab.Cell(0, "nope"); ok {
+		t.Error("unknown column ok")
+	}
+}
+
+func TestDragTerm(t *testing.T) {
+	tab := New(kennedyResults())
+	got, ok := tab.DragTerm(0, "person")
+	if !ok || got != "<http://dbpedia.org/resource/John_F._Kennedy>" {
+		t.Errorf("DragTerm = %q, %v", got, ok)
+	}
+	got, ok = tab.DragTerm(0, "name")
+	if !ok || got != `"John F. Kennedy"@en` {
+		t.Errorf("DragTerm literal = %q", got)
+	}
+	if _, ok := tab.DragTerm(9, "person"); ok {
+		t.Error("out-of-range drag ok")
+	}
+}
+
+func TestPrint(t *testing.T) {
+	tab := New(kennedyResults())
+	tab.SortBy("born", false)
+	var buf bytes.Buffer
+	tab.Print(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "John_F._Kennedy") {
+		t.Errorf("printable output missing local names:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 6 { // header + rule + 4 rows
+		t.Errorf("printable lines = %d:\n%s", len(lines), out)
+	}
+}
+
+func TestEmptyResults(t *testing.T) {
+	tab := New(&sparql.Results{Vars: []string{"x"}})
+	if tab.Rows() != 0 {
+		t.Errorf("rows = %d", tab.Rows())
+	}
+	tab.Filter("z")
+	tab.SortBy("x", true)
+	var buf bytes.Buffer
+	tab.Print(&buf)
+}

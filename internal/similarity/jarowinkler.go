@@ -1,0 +1,91 @@
+// Package similarity implements the string similarity measures used by
+// the Query Suggestion Module. The paper selects Jaro-Winkler (Section
+// 6.2.1) because it favors strings matching from the beginning; we also
+// provide Levenshtein and Jaccard for the ablation benchmarks comparing
+// the choice of measure.
+package similarity
+
+// JaroWinkler returns the Jaro-Winkler similarity of two strings in
+// [0, 1]. Identical strings score 1; completely dissimilar strings score
+// 0. The standard prefix scale 0.1 with a maximum common-prefix length of
+// 4 is used.
+func JaroWinkler(a, b string) float64 {
+	j := Jaro(a, b)
+	if j == 0 {
+		return 0
+	}
+	// Common prefix up to 4 runes.
+	ra, rb := []rune(a), []rune(b)
+	prefix := 0
+	for prefix < len(ra) && prefix < len(rb) && prefix < 4 && ra[prefix] == rb[prefix] {
+		prefix++
+	}
+	const scale = 0.1
+	return j + float64(prefix)*scale*(1-j)
+}
+
+// Jaro returns the Jaro similarity of two strings in [0, 1].
+func Jaro(a, b string) float64 {
+	ra, rb := []rune(a), []rune(b)
+	la, lb := len(ra), len(rb)
+	if la == 0 && lb == 0 {
+		return 1
+	}
+	if la == 0 || lb == 0 {
+		return 0
+	}
+	window := max(la, lb)/2 - 1
+	if window < 0 {
+		window = 0
+	}
+	matchA := make([]bool, la)
+	matchB := make([]bool, lb)
+	matches := 0
+	for i := 0; i < la; i++ {
+		lo := i - window
+		if lo < 0 {
+			lo = 0
+		}
+		hi := i + window + 1
+		if hi > lb {
+			hi = lb
+		}
+		for j := lo; j < hi; j++ {
+			if matchB[j] || ra[i] != rb[j] {
+				continue
+			}
+			matchA[i] = true
+			matchB[j] = true
+			matches++
+			break
+		}
+	}
+	if matches == 0 {
+		return 0
+	}
+	// Count transpositions among matched characters.
+	trans := 0
+	j := 0
+	for i := 0; i < la; i++ {
+		if !matchA[i] {
+			continue
+		}
+		for !matchB[j] {
+			j++
+		}
+		if ra[i] != rb[j] {
+			trans++
+		}
+		j++
+	}
+	m := float64(matches)
+	t := float64(trans) / 2
+	return (m/float64(la) + m/float64(lb) + (m-t)/m) / 3
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

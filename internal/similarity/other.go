@@ -1,0 +1,99 @@
+package similarity
+
+import "strings"
+
+// Levenshtein returns the edit distance between a and b.
+func Levenshtein(a, b string) int {
+	ra, rb := []rune(a), []rune(b)
+	la, lb := len(ra), len(rb)
+	if la == 0 {
+		return lb
+	}
+	if lb == 0 {
+		return la
+	}
+	prev := make([]int, lb+1)
+	cur := make([]int, lb+1)
+	for j := 0; j <= lb; j++ {
+		prev[j] = j
+	}
+	for i := 1; i <= la; i++ {
+		cur[0] = i
+		for j := 1; j <= lb; j++ {
+			cost := 1
+			if ra[i-1] == rb[j-1] {
+				cost = 0
+			}
+			cur[j] = minInt(prev[j]+1, cur[j-1]+1, prev[j-1]+cost)
+		}
+		prev, cur = cur, prev
+	}
+	return prev[lb]
+}
+
+// LevenshteinSimilarity normalizes edit distance to a similarity in
+// [0, 1]: 1 - dist/maxLen.
+func LevenshteinSimilarity(a, b string) float64 {
+	if a == "" && b == "" {
+		return 1
+	}
+	la, lb := len([]rune(a)), len([]rune(b))
+	d := Levenshtein(a, b)
+	return 1 - float64(d)/float64(max(la, lb))
+}
+
+// JaccardTokens returns the Jaccard similarity of the whitespace token
+// sets of a and b, case-insensitively.
+func JaccardTokens(a, b string) float64 {
+	ta := tokenSet(a)
+	tb := tokenSet(b)
+	if len(ta) == 0 && len(tb) == 0 {
+		return 1
+	}
+	inter := 0
+	for tok := range ta {
+		if tb[tok] {
+			inter++
+		}
+	}
+	union := len(ta) + len(tb) - inter
+	if union == 0 {
+		return 0
+	}
+	return float64(inter) / float64(union)
+}
+
+func tokenSet(s string) map[string]bool {
+	out := make(map[string]bool)
+	for _, tok := range strings.Fields(strings.ToLower(s)) {
+		out[tok] = true
+	}
+	return out
+}
+
+func minInt(a, b, c int) int {
+	if b < a {
+		a = b
+	}
+	if c < a {
+		a = c
+	}
+	return a
+}
+
+// Measure is a pluggable similarity function, used by the ablation
+// benchmarks to swap Jaro-Winkler for alternatives.
+type Measure func(a, b string) float64
+
+// ByName returns a named measure: "jarowinkler" (default), "levenshtein",
+// or "jaccard". Unknown names return JaroWinkler.
+func ByName(name string) Measure {
+	switch strings.ToLower(name) {
+	case "levenshtein":
+		return LevenshteinSimilarity
+	case "jaccard":
+		return JaccardTokens
+	default:
+		return JaroWinkler
+	}
+}

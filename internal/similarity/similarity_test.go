@@ -1,0 +1,166 @@
+package similarity
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestJaroKnownValues(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want float64
+	}{
+		{"MARTHA", "MARHTA", 0.9444444444444445},
+		{"DIXON", "DICKSONX", 0.7666666666666666},
+		{"JELLYFISH", "SMELLYFISH", 0.8962962962962964},
+		{"abc", "abc", 1},
+		{"", "", 1},
+		{"abc", "", 0},
+		{"", "abc", 0},
+		{"abc", "xyz", 0},
+	}
+	for _, tc := range cases {
+		if got := Jaro(tc.a, tc.b); !almostEqual(got, tc.want) {
+			t.Errorf("Jaro(%q,%q) = %v, want %v", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestJaroWinklerKnownValues(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want float64
+	}{
+		{"MARTHA", "MARHTA", 0.9611111111111111},
+		{"DIXON", "DICKSONX", 0.8133333333333332},
+		{"Kennedy", "Kennedys", 0.9750000000000001},
+		{"wife", "spouse", 0.47222222222222215},
+	}
+	for _, tc := range cases {
+		if got := JaroWinkler(tc.a, tc.b); !almostEqual(got, tc.want) {
+			t.Errorf("JaroWinkler(%q,%q) = %v, want %v", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestJaroWinklerPaperScenario(t *testing.T) {
+	// The QSM uses threshold 0.7: "Kennedys" -> "Kennedy" must pass,
+	// unrelated names must not.
+	if got := JaroWinkler("Kennedys", "Kennedy"); got < 0.7 {
+		t.Errorf("Kennedys/Kennedy = %v, want >= 0.7", got)
+	}
+	if got := JaroWinkler("Kennedys", "Lincoln"); got >= 0.7 {
+		t.Errorf("Kennedys/Lincoln = %v, want < 0.7", got)
+	}
+	// Prefix preference: Viking Press variants.
+	if JaroWinkler("Viking Press", "The Viking") >= JaroWinkler("Viking Press", "Viking Presses") {
+		t.Error("prefix-matching variant should score higher")
+	}
+}
+
+func TestJaroWinklerProperties(t *testing.T) {
+	symmetric := func(a, b string) bool {
+		// Winkler prefix bonus is symmetric too.
+		return almostEqual(JaroWinkler(a, b), JaroWinkler(b, a))
+	}
+	if err := quick.Check(symmetric, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+	bounded := func(a, b string) bool {
+		v := JaroWinkler(a, b)
+		return v >= 0 && v <= 1+1e-9
+	}
+	if err := quick.Check(bounded, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+	identity := func(a string) bool {
+		return almostEqual(JaroWinkler(a, a), 1)
+	}
+	if err := quick.Check(identity, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLevenshteinKnownValues(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"kitten", "sitting", 3},
+		{"flaw", "lawn", 2},
+		{"", "abc", 3},
+		{"abc", "", 3},
+		{"same", "same", 0},
+		{"ü", "u", 1},
+	}
+	for _, tc := range cases {
+		if got := Levenshtein(tc.a, tc.b); got != tc.want {
+			t.Errorf("Levenshtein(%q,%q) = %d, want %d", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestLevenshteinProperties(t *testing.T) {
+	symmetric := func(a, b string) bool {
+		return Levenshtein(a, b) == Levenshtein(b, a)
+	}
+	if err := quick.Check(symmetric, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+	triangle := func(a, b, c string) bool {
+		return Levenshtein(a, c) <= Levenshtein(a, b)+Levenshtein(b, c)
+	}
+	if err := quick.Check(triangle, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+	identity := func(a string) bool { return Levenshtein(a, a) == 0 }
+	if err := quick.Check(identity, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLevenshteinSimilarity(t *testing.T) {
+	if got := LevenshteinSimilarity("", ""); got != 1 {
+		t.Errorf("empty/empty = %v", got)
+	}
+	if got := LevenshteinSimilarity("abc", "abc"); got != 1 {
+		t.Errorf("same = %v", got)
+	}
+	if got := LevenshteinSimilarity("abc", "xyz"); got != 0 {
+		t.Errorf("disjoint = %v", got)
+	}
+}
+
+func TestJaccardTokens(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want float64
+	}{
+		{"the viking press", "viking press", 2.0 / 3.0},
+		{"a b", "A B", 1},
+		{"", "", 1},
+		{"a", "", 0},
+		{"x y z", "p q r", 0},
+	}
+	for _, tc := range cases {
+		if got := JaccardTokens(tc.a, tc.b); !almostEqual(got, tc.want) {
+			t.Errorf("JaccardTokens(%q,%q) = %v, want %v", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	if ByName("levenshtein")("abc", "abc") != 1 {
+		t.Error("levenshtein measure wrong")
+	}
+	if ByName("jaccard")("a b", "a b") != 1 {
+		t.Error("jaccard measure wrong")
+	}
+	// Default falls back to Jaro-Winkler.
+	if got := ByName("unknown")("MARTHA", "MARHTA"); !almostEqual(got, 0.9611111111111111) {
+		t.Errorf("default measure = %v", got)
+	}
+}

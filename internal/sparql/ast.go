@@ -1,0 +1,302 @@
+// Package sparql implements the subset of SPARQL 1.1 that Sapphire needs:
+// SELECT queries with triple patterns, FILTER expressions, DISTINCT,
+// aggregates (COUNT), GROUP BY, ORDER BY, LIMIT and OFFSET, and PREFIX
+// declarations. This covers every query in the paper: the Ivy League
+// example in Section 1, the initialization queries Q1–Q10 in Appendix A,
+// and the user-study queries in Appendix B.
+//
+// The pipeline is lexer → parser → AST → evaluator. The evaluator runs
+// against any Graph (the in-memory store, or a federation of endpoints)
+// and supports a per-row budget hook so simulated endpoints can enforce
+// timeouts the way real SPARQL endpoints do.
+package sparql
+
+import (
+	"fmt"
+	"strings"
+
+	"sapphire/internal/rdf"
+)
+
+// Node is one position of a triple pattern: either a variable (Var != "")
+// or a concrete RDF term. The zero Node is invalid.
+type Node struct {
+	// Var is the variable name without the leading '?'.
+	Var string
+	// Term is the concrete term when Var is empty.
+	Term rdf.Term
+}
+
+// NewVar returns a variable node.
+func NewVar(name string) Node { return Node{Var: name} }
+
+// NewTermNode returns a concrete-term node.
+func NewTermNode(t rdf.Term) Node { return Node{Term: t} }
+
+// IsVar reports whether the node is a variable.
+func (n Node) IsVar() bool { return n.Var != "" }
+
+// String renders the node in SPARQL syntax.
+func (n Node) String() string {
+	if n.IsVar() {
+		return "?" + n.Var
+	}
+	return n.Term.String()
+}
+
+// Pattern is a single triple pattern in a basic graph pattern.
+type Pattern struct {
+	S, P, O Node
+}
+
+// String renders the pattern in SPARQL syntax.
+func (p Pattern) String() string {
+	return fmt.Sprintf("%s %s %s .", p.S, p.P, p.O)
+}
+
+// Vars returns the distinct variable names used in the pattern.
+func (p Pattern) Vars() []string {
+	var out []string
+	seen := make(map[string]bool)
+	for _, n := range []Node{p.S, p.P, p.O} {
+		if n.IsVar() && !seen[n.Var] {
+			seen[n.Var] = true
+			out = append(out, n.Var)
+		}
+	}
+	return out
+}
+
+// AggregateKind enumerates the supported aggregate functions.
+type AggregateKind uint8
+
+const (
+	// AggNone marks a plain variable projection.
+	AggNone AggregateKind = iota
+	// AggCount is COUNT(?v), COUNT(*), or COUNT(DISTINCT ?v).
+	AggCount
+	// AggMax is MAX(?v).
+	AggMax
+	// AggMin is MIN(?v).
+	AggMin
+	// AggSum is SUM(?v).
+	AggSum
+	// AggAvg is AVG(?v).
+	AggAvg
+)
+
+func (k AggregateKind) String() string {
+	switch k {
+	case AggCount:
+		return "COUNT"
+	case AggMax:
+		return "MAX"
+	case AggMin:
+		return "MIN"
+	case AggSum:
+		return "SUM"
+	case AggAvg:
+		return "AVG"
+	default:
+		return ""
+	}
+}
+
+// Projection is one item of the SELECT clause: either a plain variable or
+// an aggregate over a variable (or * for COUNT(*)).
+type Projection struct {
+	// Var is the projected variable. For COUNT(*) it is empty.
+	Var string
+	// Agg is the aggregate applied, AggNone for plain projection.
+	Agg AggregateKind
+	// AggDistinct is true for COUNT(DISTINCT ?v).
+	AggDistinct bool
+	// As is the output name. Defaults to Var, or e.g. "count" for
+	// aggregates without an AS alias.
+	As string
+}
+
+// Name returns the output binding name of this projection.
+func (pr Projection) Name() string {
+	if pr.As != "" {
+		return pr.As
+	}
+	if pr.Agg != AggNone {
+		return strings.ToLower(pr.Agg.String())
+	}
+	return pr.Var
+}
+
+// OrderKey is one ORDER BY key.
+type OrderKey struct {
+	Var  string
+	Desc bool
+}
+
+// Query is a parsed SPARQL SELECT query.
+type Query struct {
+	// Prefixes maps prefix labels to namespace IRIs, including defaults.
+	Prefixes map[string]string
+	// Distinct applies to the projected solutions.
+	Distinct bool
+	// SelectAll is true for SELECT *.
+	SelectAll bool
+	// Projections lists SELECT items in order (empty when SelectAll).
+	Projections []Projection
+	// Where is the basic graph pattern.
+	Where []Pattern
+	// Optionals are OPTIONAL { ... } blocks left-joined against Where.
+	Optionals [][]Pattern
+	// UnionGroups, when non-empty, replaces Where with the union of the
+	// solutions of each group ({ ... } UNION { ... }).
+	UnionGroups [][]Pattern
+	// Filters are the FILTER constraints, conjunctively applied.
+	Filters []Expr
+	// GroupBy lists grouping variables (empty for implicit grouping when
+	// aggregates are present).
+	GroupBy []string
+	// OrderBy lists ordering keys applied after projection.
+	OrderBy []OrderKey
+	// Limit is the maximum number of rows, or <0 for no limit.
+	Limit int
+	// Offset skips rows before returning results.
+	Offset int
+}
+
+// HasAggregates reports whether any projection aggregates.
+func (q *Query) HasAggregates() bool {
+	for _, p := range q.Projections {
+		if p.Agg != AggNone {
+			return true
+		}
+	}
+	return false
+}
+
+// Vars returns all variables mentioned in the WHERE clause (including
+// OPTIONAL blocks and UNION groups) in first-use order.
+func (q *Query) Vars() []string {
+	var out []string
+	seen := make(map[string]bool)
+	add := func(ps []Pattern) {
+		for _, p := range ps {
+			for _, v := range p.Vars() {
+				if !seen[v] {
+					seen[v] = true
+					out = append(out, v)
+				}
+			}
+		}
+	}
+	add(q.Where)
+	for _, g := range q.UnionGroups {
+		add(g)
+	}
+	for _, o := range q.Optionals {
+		add(o)
+	}
+	return out
+}
+
+// String reserializes the query in canonical SPARQL syntax. Prefixes are
+// expanded, so the output contains only absolute IRIs.
+func (q *Query) String() string {
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	if q.Distinct {
+		b.WriteString("DISTINCT ")
+	}
+	if q.SelectAll {
+		b.WriteString("*")
+	} else {
+		for i, p := range q.Projections {
+			if i > 0 {
+				b.WriteByte(' ')
+			}
+			switch {
+			case p.Agg == AggNone:
+				b.WriteString("?" + p.Var)
+			case p.Var == "":
+				fmt.Fprintf(&b, "(%s(*) AS ?%s)", p.Agg, p.Name())
+			case p.AggDistinct:
+				fmt.Fprintf(&b, "(%s(DISTINCT ?%s) AS ?%s)", p.Agg, p.Var, p.Name())
+			default:
+				fmt.Fprintf(&b, "(%s(?%s) AS ?%s)", p.Agg, p.Var, p.Name())
+			}
+		}
+	}
+	b.WriteString(" WHERE {\n")
+	if len(q.UnionGroups) > 0 {
+		for i, g := range q.UnionGroups {
+			if i > 0 {
+				b.WriteString("  UNION\n")
+			}
+			b.WriteString("  {\n")
+			for _, p := range g {
+				b.WriteString("    " + p.String() + "\n")
+			}
+			b.WriteString("  }\n")
+		}
+	}
+	for _, p := range q.Where {
+		b.WriteString("  " + p.String() + "\n")
+	}
+	for _, opt := range q.Optionals {
+		b.WriteString("  OPTIONAL {\n")
+		for _, p := range opt {
+			b.WriteString("    " + p.String() + "\n")
+		}
+		b.WriteString("  }\n")
+	}
+	for _, f := range q.Filters {
+		b.WriteString("  FILTER (" + f.String() + ")\n")
+	}
+	b.WriteString("}")
+	if len(q.GroupBy) > 0 {
+		b.WriteString("\nGROUP BY")
+		for _, v := range q.GroupBy {
+			b.WriteString(" ?" + v)
+		}
+	}
+	if len(q.OrderBy) > 0 {
+		b.WriteString("\nORDER BY")
+		for _, k := range q.OrderBy {
+			if k.Desc {
+				b.WriteString(" DESC(?" + k.Var + ")")
+			} else {
+				b.WriteString(" ?" + k.Var)
+			}
+		}
+	}
+	if q.Limit >= 0 {
+		fmt.Fprintf(&b, "\nLIMIT %d", q.Limit)
+	}
+	if q.Offset > 0 {
+		fmt.Fprintf(&b, "\nOFFSET %d", q.Offset)
+	}
+	return b.String()
+}
+
+// Clone returns a deep copy of the query. The PUM mutates clones when
+// constructing alternative queries (Algorithm 2 line 16).
+func (q *Query) Clone() *Query {
+	cp := *q
+	cp.Prefixes = make(map[string]string, len(q.Prefixes))
+	for k, v := range q.Prefixes {
+		cp.Prefixes[k] = v
+	}
+	cp.Projections = append([]Projection(nil), q.Projections...)
+	cp.Where = append([]Pattern(nil), q.Where...)
+	cp.Optionals = make([][]Pattern, len(q.Optionals))
+	for i, o := range q.Optionals {
+		cp.Optionals[i] = append([]Pattern(nil), o...)
+	}
+	cp.UnionGroups = make([][]Pattern, len(q.UnionGroups))
+	for i, g := range q.UnionGroups {
+		cp.UnionGroups[i] = append([]Pattern(nil), g...)
+	}
+	cp.Filters = append([]Expr(nil), q.Filters...)
+	cp.GroupBy = append([]string(nil), q.GroupBy...)
+	cp.OrderBy = append([]OrderKey(nil), q.OrderBy...)
+	return &cp
+}

@@ -1,0 +1,69 @@
+package sparql
+
+import (
+	"fmt"
+	"testing"
+
+	"sapphire/internal/rdf"
+	"sapphire/internal/store"
+)
+
+func benchGraph(people int) *store.Store {
+	s := store.New()
+	typ := rdf.NewIRI(rdf.RDFType)
+	person := rdf.NewIRI("http://x/Person")
+	name := rdf.NewIRI("http://x/name")
+	knows := rdf.NewIRI("http://x/knows")
+	for i := 0; i < people; i++ {
+		subj := rdf.NewIRI(fmt.Sprintf("http://x/p%d", i))
+		s.MustAdd(rdf.NewTriple(subj, typ, person))
+		s.MustAdd(rdf.NewTriple(subj, name, rdf.NewLangLiteral(fmt.Sprintf("Person %d", i), "en")))
+		s.MustAdd(rdf.NewTriple(subj, knows, rdf.NewIRI(fmt.Sprintf("http://x/p%d", (i+1)%people))))
+	}
+	return s
+}
+
+// BenchmarkEvalTwoHopJoin measures the engine on the workload shape the
+// benchmark questions use: entity anchor plus a join.
+func BenchmarkEvalTwoHopJoin(b *testing.B) {
+	s := benchGraph(2000)
+	q := MustParse(`SELECT ?n2 WHERE {
+		?p <http://x/name> "Person 42"@en .
+		?p <http://x/knows> ?q .
+		?q <http://x/name> ?n2 .
+	}`)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Eval(s, q, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEvalAggregate measures grouped aggregation (Q1's shape).
+func BenchmarkEvalAggregate(b *testing.B) {
+	s := benchGraph(2000)
+	q := MustParse(`SELECT ?p (COUNT(*) AS ?n) WHERE { ?s ?p ?o . } GROUP BY ?p ORDER BY DESC(?n)`)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Eval(s, q, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkParse measures query parsing alone.
+func BenchmarkParse(b *testing.B) {
+	src := `PREFIX dbo: <http://dbpedia.org/ontology/>
+SELECT DISTINCT ?b WHERE {
+	?b dbo:author ?a . ?a dbo:name "Jack Kerouac"@en .
+	?b dbo:numberOfPages ?n . FILTER (?n > 300 && isliteral(?n))
+} ORDER BY DESC(?n) LIMIT 10`
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

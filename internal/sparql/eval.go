@@ -1,0 +1,599 @@
+package sparql
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"sapphire/internal/rdf"
+)
+
+// Graph is the triple source the evaluator runs against. The in-memory
+// store satisfies it directly; endpoints and federations adapt to it.
+type Graph interface {
+	// Match streams triples matching the pattern (zero terms are
+	// wildcards) until fn returns false.
+	Match(s, p, o rdf.Term, fn func(rdf.Triple) bool)
+	// CardinalityEstimate returns an upper bound on matching triples,
+	// used for greedy join ordering.
+	CardinalityEstimate(s, p, o rdf.Term) int
+}
+
+// Binding maps variable names to terms for one solution row.
+type Binding map[string]rdf.Term
+
+// clone copies a binding.
+func (b Binding) clone() Binding {
+	c := make(Binding, len(b)+1)
+	for k, v := range b {
+		c[k] = v
+	}
+	return c
+}
+
+// Results is the outcome of query evaluation.
+type Results struct {
+	// Vars is the projection list in order.
+	Vars []string
+	// Rows are the solutions; each maps every projected var (missing
+	// entries mean unbound, which cannot happen in this subset).
+	Rows []Binding
+}
+
+// Sorted returns the rows serialized deterministically, for tests.
+func (r *Results) Sorted() []string {
+	out := make([]string, len(r.Rows))
+	for i, row := range r.Rows {
+		parts := make([]string, len(r.Vars))
+		for j, v := range r.Vars {
+			parts[j] = row[v].String()
+		}
+		out[i] = strings.Join(parts, " | ")
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Budget is invoked for every intermediate row the evaluator produces.
+// Simulated endpoints use it to enforce timeouts and result limits the
+// way public SPARQL endpoints do; returning an error aborts evaluation.
+type Budget func() error
+
+// Options configures evaluation.
+type Options struct {
+	// Budget, if non-nil, is called once per intermediate row.
+	Budget Budget
+}
+
+// Eval evaluates a query against a graph.
+func Eval(g Graph, q *Query, opts Options) (*Results, error) {
+	e := &evaluator{g: g, q: q, budget: opts.Budget}
+	return e.run()
+}
+
+type evaluator struct {
+	g      Graph
+	q      *Query
+	budget Budget
+}
+
+func (e *evaluator) tick() error {
+	if e.budget == nil {
+		return nil
+	}
+	return e.budget()
+}
+
+func (e *evaluator) run() (*Results, error) {
+	if len(e.q.Where) == 0 && len(e.q.UnionGroups) == 0 {
+		return nil, fmt.Errorf("sparql: empty WHERE clause")
+	}
+	var rows []Binding
+	var err error
+	if len(e.q.UnionGroups) > 0 {
+		// Union: each branch evaluates independently; solutions concat.
+		for _, g := range e.q.UnionGroups {
+			branch, berr := e.joinGroup(g)
+			if berr != nil {
+				return nil, berr
+			}
+			rows = append(rows, branch...)
+		}
+		// Any trailing plain patterns join against the union result.
+		if len(e.q.Where) > 0 {
+			return nil, fmt.Errorf("sparql: mixing UNION with top-level patterns is not supported")
+		}
+	} else {
+		rows, err = e.joinGroup(e.q.Where)
+		if err != nil {
+			return nil, err
+		}
+	}
+	// OPTIONAL blocks left-join against the solutions so far.
+	for _, opt := range e.q.Optionals {
+		rows, err = e.leftJoin(rows, opt)
+		if err != nil {
+			return nil, err
+		}
+	}
+	rows, err = e.applyFilters(rows)
+	if err != nil {
+		return nil, err
+	}
+	// SPARQL orders the solution sequence before projection, so ORDER BY
+	// may reference variables that are not projected. Aggregate queries
+	// order after grouping instead, since their keys name output columns.
+	if !e.q.HasAggregates() {
+		e.orderRows(rows)
+	}
+	res, err := e.project(rows)
+	if err != nil {
+		return nil, err
+	}
+	if e.q.HasAggregates() || len(e.q.OrderBy) == 0 {
+		e.order(res)
+	}
+	e.page(res)
+	return res, nil
+}
+
+// orderRows sorts full solution rows by the ORDER BY keys before
+// projection.
+func (e *evaluator) orderRows(rows []Binding) {
+	if len(e.q.OrderBy) == 0 {
+		return
+	}
+	keys := e.q.OrderBy
+	sort.SliceStable(rows, func(i, j int) bool {
+		for _, k := range keys {
+			c := compareTermsForOrder(rows[i][k.Var], rows[j][k.Var])
+			if c != 0 {
+				if k.Desc {
+					return c > 0
+				}
+				return c < 0
+			}
+		}
+		return false
+	})
+}
+
+// joinGroup executes one basic graph pattern with a greedy left-deep
+// join: at each step pick the unexecuted pattern with the lowest
+// cardinality estimate given already-bound variables.
+func (e *evaluator) joinGroup(group []Pattern) ([]Binding, error) {
+	return e.joinFrom([]Binding{{}}, group)
+}
+
+// leftJoin extends each row with the optional block's solutions, keeping
+// the row unextended when the block has no match (SPARQL OPTIONAL).
+func (e *evaluator) leftJoin(rows []Binding, block []Pattern) ([]Binding, error) {
+	var out []Binding
+	for _, row := range rows {
+		matches, err := e.joinFrom([]Binding{row}, block)
+		if err != nil {
+			return nil, err
+		}
+		if len(matches) == 0 {
+			out = append(out, row)
+		} else {
+			out = append(out, matches...)
+		}
+	}
+	return out, nil
+}
+
+// joinFrom joins the patterns starting from the given seed rows.
+func (e *evaluator) joinFrom(seed []Binding, group []Pattern) ([]Binding, error) {
+	remaining := append([]Pattern(nil), group...)
+	rows := seed
+	bound := make(map[string]bool)
+	if len(seed) > 0 {
+		for v := range seed[0] {
+			bound[v] = true
+		}
+	}
+	for len(remaining) > 0 {
+		idx := e.pickNext(remaining, bound)
+		pat := remaining[idx]
+		remaining = append(remaining[:idx], remaining[idx+1:]...)
+		var next []Binding
+		for _, row := range rows {
+			s, sv := resolve(pat.S, row)
+			p, pv := resolve(pat.P, row)
+			o, ov := resolve(pat.O, row)
+			var innerErr error
+			e.g.Match(s, p, o, func(tr rdf.Triple) bool {
+				if innerErr = e.tick(); innerErr != nil {
+					return false
+				}
+				nb := row
+				cloned := false
+				bind := func(v string, t rdf.Term) bool {
+					if v == "" {
+						return true
+					}
+					if cur, ok := nb[v]; ok {
+						return cur == t
+					}
+					if !cloned {
+						nb = nb.clone()
+						cloned = true
+					}
+					nb[v] = t
+					return true
+				}
+				if !bind(sv, tr.S) || !bind(pv, tr.P) || !bind(ov, tr.O) {
+					return true
+				}
+				if !cloned {
+					nb = nb.clone()
+				}
+				next = append(next, nb)
+				return true
+			})
+			if innerErr != nil {
+				return nil, innerErr
+			}
+		}
+		rows = next
+		for _, v := range pat.Vars() {
+			bound[v] = true
+		}
+		if len(rows) == 0 {
+			return rows, nil
+		}
+	}
+	return rows, nil
+}
+
+// resolve turns a pattern node into a concrete term (when constant or
+// already bound) plus the variable name still to bind.
+func resolve(n Node, row Binding) (rdf.Term, string) {
+	if !n.IsVar() {
+		return n.Term, ""
+	}
+	if t, ok := row[n.Var]; ok {
+		return t, ""
+	}
+	return rdf.Term{}, n.Var
+}
+
+// pickNext chooses the most selective remaining pattern. Patterns sharing
+// a bound variable are preferred over cartesian products.
+func (e *evaluator) pickNext(remaining []Pattern, bound map[string]bool) int {
+	best, bestCost := 0, int(^uint(0)>>1)
+	for i, pat := range remaining {
+		cost := e.patternCost(pat, bound)
+		// Penalize patterns with no join variable: cartesian product.
+		if len(bound) > 0 && !sharesVar(pat, bound) {
+			cost = cost*16 + 1<<20
+		}
+		if cost < bestCost {
+			best, bestCost = i, cost
+		}
+	}
+	return best
+}
+
+func sharesVar(pat Pattern, bound map[string]bool) bool {
+	for _, v := range pat.Vars() {
+		if bound[v] {
+			return true
+		}
+	}
+	return false
+}
+
+func (e *evaluator) patternCost(pat Pattern, bound map[string]bool) int {
+	term := func(n Node) rdf.Term {
+		if !n.IsVar() {
+			return n.Term
+		}
+		if bound[n.Var] {
+			// Bound at runtime; approximate selectivity by treating the
+			// position as fixed with an unknown value: use zero term but
+			// discount the estimate below.
+			return rdf.Term{}
+		}
+		return rdf.Term{}
+	}
+	est := e.g.CardinalityEstimate(term(pat.S), term(pat.P), term(pat.O))
+	// Discount patterns whose variables are already bound: each bound
+	// variable roughly divides the work.
+	for _, v := range pat.Vars() {
+		if bound[v] {
+			est /= 4
+		}
+	}
+	return est
+}
+
+func (e *evaluator) applyFilters(rows []Binding) ([]Binding, error) {
+	if len(e.q.Filters) == 0 {
+		return rows, nil
+	}
+	out := rows[:0]
+	for _, row := range rows {
+		if err := e.tick(); err != nil {
+			return nil, err
+		}
+		keep := true
+		for _, f := range e.q.Filters {
+			v, err := f.Eval(row)
+			if err != nil {
+				// SPARQL: evaluation errors make the filter fail for
+				// this row, not the whole query.
+				keep = false
+				break
+			}
+			b, err := v.EffectiveBool()
+			if err != nil || !b {
+				keep = false
+				break
+			}
+		}
+		if keep {
+			out = append(out, row)
+		}
+	}
+	return out, nil
+}
+
+func (e *evaluator) project(rows []Binding) (*Results, error) {
+	q := e.q
+	if q.SelectAll {
+		vars := q.Vars()
+		res := &Results{Vars: vars}
+		res.Rows = e.distinct(projectVars(rows, vars))
+		return res, nil
+	}
+	if !q.HasAggregates() {
+		vars := make([]string, len(q.Projections))
+		for i, p := range q.Projections {
+			vars[i] = p.Var
+		}
+		res := &Results{Vars: vars}
+		res.Rows = e.distinct(projectVars(rows, vars))
+		return res, nil
+	}
+	return e.aggregate(rows)
+}
+
+func projectVars(rows []Binding, vars []string) []Binding {
+	out := make([]Binding, len(rows))
+	for i, row := range rows {
+		nb := make(Binding, len(vars))
+		for _, v := range vars {
+			if t, ok := row[v]; ok {
+				nb[v] = t
+			}
+		}
+		out[i] = nb
+	}
+	return out
+}
+
+func (e *evaluator) distinct(rows []Binding) []Binding {
+	if !e.q.Distinct {
+		return rows
+	}
+	seen := make(map[string]bool, len(rows))
+	out := rows[:0]
+	vars := e.projVars()
+	for _, row := range rows {
+		key := rowKey(row, vars)
+		if !seen[key] {
+			seen[key] = true
+			out = append(out, row)
+		}
+	}
+	return out
+}
+
+func (e *evaluator) projVars() []string {
+	if e.q.SelectAll {
+		return e.q.Vars()
+	}
+	vars := make([]string, 0, len(e.q.Projections))
+	for _, p := range e.q.Projections {
+		vars = append(vars, p.Name())
+	}
+	return vars
+}
+
+func rowKey(row Binding, vars []string) string {
+	parts := make([]string, len(vars))
+	for i, v := range vars {
+		parts[i] = row[v].String()
+	}
+	return strings.Join(parts, "\x00")
+}
+
+// aggregate computes grouped aggregates. With no GROUP BY all rows form
+// one group.
+func (e *evaluator) aggregate(rows []Binding) (*Results, error) {
+	q := e.q
+	groups := make(map[string][]Binding)
+	var order []string
+	for _, row := range rows {
+		key := rowKey(row, q.GroupBy)
+		if _, ok := groups[key]; !ok {
+			order = append(order, key)
+		}
+		groups[key] = append(groups[key], row)
+	}
+	if len(rows) == 0 && len(q.GroupBy) == 0 {
+		// Aggregates over the empty solution set yield one row (COUNT=0).
+		order = append(order, "")
+		groups[""] = nil
+	}
+	sort.Strings(order)
+
+	vars := make([]string, len(q.Projections))
+	for i, p := range q.Projections {
+		vars[i] = p.Name()
+	}
+	res := &Results{Vars: vars}
+	for _, key := range order {
+		grows := groups[key]
+		out := make(Binding, len(q.Projections))
+		for _, p := range q.Projections {
+			switch p.Agg {
+			case AggNone:
+				if len(grows) > 0 {
+					out[p.Name()] = grows[0][p.Var]
+				}
+			case AggCount:
+				out[p.Name()] = countAgg(grows, p)
+			case AggMax, AggMin, AggSum, AggAvg:
+				t, err := numericAgg(grows, p)
+				if err != nil {
+					return nil, err
+				}
+				out[p.Name()] = t
+			}
+		}
+		res.Rows = append(res.Rows, out)
+	}
+	res.Rows = e.distinct(res.Rows)
+	return res, nil
+}
+
+func countAgg(rows []Binding, p Projection) rdf.Term {
+	if p.Var == "" {
+		return intLit(len(rows))
+	}
+	if !p.AggDistinct {
+		n := 0
+		for _, r := range rows {
+			if _, ok := r[p.Var]; ok {
+				n++
+			}
+		}
+		return intLit(n)
+	}
+	seen := make(map[rdf.Term]bool)
+	for _, r := range rows {
+		if t, ok := r[p.Var]; ok {
+			seen[t] = true
+		}
+	}
+	return intLit(len(seen))
+}
+
+func numericAgg(rows []Binding, p Projection) (rdf.Term, error) {
+	var vals []float64
+	for _, r := range rows {
+		t, ok := r[p.Var]
+		if !ok {
+			continue
+		}
+		f, err := strconv.ParseFloat(t.Value, 64)
+		if err != nil {
+			return rdf.Term{}, fmt.Errorf("sparql: %s over non-numeric value %s", p.Agg, t)
+		}
+		vals = append(vals, f)
+	}
+	if len(vals) == 0 {
+		return intLit(0), nil
+	}
+	switch p.Agg {
+	case AggMax:
+		m := vals[0]
+		for _, v := range vals[1:] {
+			if v > m {
+				m = v
+			}
+		}
+		return floatLit(m), nil
+	case AggMin:
+		m := vals[0]
+		for _, v := range vals[1:] {
+			if v < m {
+				m = v
+			}
+		}
+		return floatLit(m), nil
+	case AggSum:
+		s := 0.0
+		for _, v := range vals {
+			s += v
+		}
+		return floatLit(s), nil
+	default: // AggAvg
+		s := 0.0
+		for _, v := range vals {
+			s += v
+		}
+		return floatLit(s / float64(len(vals))), nil
+	}
+}
+
+func intLit(n int) rdf.Term {
+	return rdf.NewTypedLiteral(strconv.Itoa(n), rdf.XSDInteger)
+}
+
+func floatLit(f float64) rdf.Term {
+	if f == float64(int64(f)) {
+		return rdf.NewTypedLiteral(strconv.FormatInt(int64(f), 10), rdf.XSDInteger)
+	}
+	return rdf.NewTypedLiteral(strconv.FormatFloat(f, 'g', -1, 64), rdf.XSDDouble)
+}
+
+// order sorts the result rows by the ORDER BY keys, falling back to a
+// total deterministic order when keys tie.
+func (e *evaluator) order(res *Results) {
+	keys := e.q.OrderBy
+	sort.SliceStable(res.Rows, func(i, j int) bool {
+		a, b := res.Rows[i], res.Rows[j]
+		for _, k := range keys {
+			c := compareTermsForOrder(a[k.Var], b[k.Var])
+			if c != 0 {
+				if k.Desc {
+					return c > 0
+				}
+				return c < 0
+			}
+		}
+		if len(keys) > 0 {
+			return false
+		}
+		// No explicit order: keep deterministic by full row key.
+		return rowKey(a, res.Vars) < rowKey(b, res.Vars)
+	})
+}
+
+// compareTermsForOrder compares numerically when both terms parse as
+// numbers, else by term order.
+func compareTermsForOrder(a, b rdf.Term) int {
+	if a.IsLiteral() && b.IsLiteral() {
+		af, aerr := strconv.ParseFloat(a.Value, 64)
+		bf, berr := strconv.ParseFloat(b.Value, 64)
+		if aerr == nil && berr == nil {
+			switch {
+			case af < bf:
+				return -1
+			case af > bf:
+				return 1
+			default:
+				return 0
+			}
+		}
+	}
+	return a.Compare(b)
+}
+
+func (e *evaluator) page(res *Results) {
+	if e.q.Offset > 0 {
+		if e.q.Offset >= len(res.Rows) {
+			res.Rows = nil
+		} else {
+			res.Rows = res.Rows[e.q.Offset:]
+		}
+	}
+	if e.q.Limit >= 0 && e.q.Limit < len(res.Rows) {
+		res.Rows = res.Rows[:e.q.Limit]
+	}
+}

@@ -1,0 +1,338 @@
+package sparql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind enumerates lexical token classes.
+type tokenKind uint8
+
+const (
+	tokEOF       tokenKind = iota
+	tokIdent               // bare identifier or keyword: SELECT, FILTER, a, count
+	tokVar                 // ?name or $name
+	tokIRI                 // <...>
+	tokPName               // prefixed name: dbo:Scientist or dbo:
+	tokString              // "..." or '...'
+	tokNumber              // 42, 3.14, -1
+	tokLangTag             // @en
+	tokDTSep               // ^^
+	tokLBrace              // {
+	tokRBrace              // }
+	tokLParen              // (
+	tokRParen              // )
+	tokDot                 // .
+	tokComma               // ,
+	tokSemicolon           // ;
+	tokStar                // *
+	tokOp                  // operators: = != < > <= >= && || ! + - /
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int // byte offset for error reporting
+}
+
+// lexer tokenizes a SPARQL query string.
+type lexer struct {
+	src string
+	i   int
+}
+
+// lexAll tokenizes the whole input.
+func lexAll(src string) ([]token, error) {
+	lx := &lexer{src: src}
+	var out []token
+	for {
+		t, err := lx.next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.kind == tokEOF {
+			return out, nil
+		}
+	}
+}
+
+func (lx *lexer) errf(format string, args ...any) error {
+	line := 1 + strings.Count(lx.src[:lx.i], "\n")
+	return fmt.Errorf("sparql: lex error at line %d: %s", line, fmt.Sprintf(format, args...))
+}
+
+func (lx *lexer) next() (token, error) {
+	lx.skipWS()
+	if lx.i >= len(lx.src) {
+		return token{kind: tokEOF, pos: lx.i}, nil
+	}
+	start := lx.i
+	c := lx.src[lx.i]
+	switch {
+	case c == '?' || c == '$':
+		lx.i++
+		name := lx.ident()
+		if name == "" {
+			return token{}, lx.errf("empty variable name")
+		}
+		return token{kind: tokVar, text: name, pos: start}, nil
+	case c == '<':
+		// '<' is ambiguous: IRI open bracket or less-than operator.
+		// Treat it as an operator when followed by '=', whitespace, a
+		// digit, or a variable — i.e. anything that cannot start an IRI
+		// body that closes with '>'.
+		if lx.i+1 < len(lx.src) {
+			nc := lx.src[lx.i+1]
+			if nc == '=' {
+				lx.i += 2
+				return token{kind: tokOp, text: "<=", pos: start}, nil
+			}
+			if nc == ' ' || nc == '\t' || nc == '\n' || nc == '\r' || isDigit(nc) || nc == '?' || nc == '$' || nc == '-' {
+				lx.i++
+				return token{kind: tokOp, text: "<", pos: start}, nil
+			}
+		}
+		lx.i++
+		j := strings.IndexByte(lx.src[lx.i:], '>')
+		if j < 0 {
+			return token{}, lx.errf("unterminated IRI")
+		}
+		iri := lx.src[lx.i : lx.i+j]
+		lx.i += j + 1
+		return token{kind: tokIRI, text: iri, pos: start}, nil
+	case c == '"' || c == '\'':
+		s, err := lx.stringLit(c)
+		if err != nil {
+			return token{}, err
+		}
+		return token{kind: tokString, text: s, pos: start}, nil
+	case c == '@':
+		lx.i++
+		tag := lx.ident()
+		if tag == "" {
+			return token{}, lx.errf("empty language tag")
+		}
+		for lx.i < len(lx.src) && lx.src[lx.i] == '-' {
+			lx.i++
+			tag += "-" + lx.ident()
+		}
+		return token{kind: tokLangTag, text: tag, pos: start}, nil
+	case c == '^':
+		if strings.HasPrefix(lx.src[lx.i:], "^^") {
+			lx.i += 2
+			return token{kind: tokDTSep, pos: start}, nil
+		}
+		return token{}, lx.errf("unexpected '^'")
+	case c == '{':
+		lx.i++
+		return token{kind: tokLBrace, pos: start}, nil
+	case c == '}':
+		lx.i++
+		return token{kind: tokRBrace, pos: start}, nil
+	case c == '(':
+		lx.i++
+		return token{kind: tokLParen, pos: start}, nil
+	case c == ')':
+		lx.i++
+		return token{kind: tokRParen, pos: start}, nil
+	case c == ',':
+		lx.i++
+		return token{kind: tokComma, pos: start}, nil
+	case c == ';':
+		lx.i++
+		return token{kind: tokSemicolon, pos: start}, nil
+	case c == '*':
+		lx.i++
+		return token{kind: tokStar, pos: start}, nil
+	case c == '.':
+		// Distinguish the triple terminator from a decimal number.
+		if lx.i+1 < len(lx.src) && isDigit(lx.src[lx.i+1]) {
+			return lx.number()
+		}
+		lx.i++
+		return token{kind: tokDot, pos: start}, nil
+	case c == '=':
+		lx.i++
+		return token{kind: tokOp, text: "=", pos: start}, nil
+	case c == '!':
+		if strings.HasPrefix(lx.src[lx.i:], "!=") {
+			lx.i += 2
+			return token{kind: tokOp, text: "!=", pos: start}, nil
+		}
+		lx.i++
+		return token{kind: tokOp, text: "!", pos: start}, nil
+	case c == '>':
+		lx.i++
+		op := ">"
+		if lx.i < len(lx.src) && lx.src[lx.i] == '=' {
+			op += "="
+			lx.i++
+		}
+		return token{kind: tokOp, text: op, pos: start}, nil
+	case c == '&':
+		if strings.HasPrefix(lx.src[lx.i:], "&&") {
+			lx.i += 2
+			return token{kind: tokOp, text: "&&", pos: start}, nil
+		}
+		return token{}, lx.errf("unexpected '&'")
+	case c == '|':
+		if strings.HasPrefix(lx.src[lx.i:], "||") {
+			lx.i += 2
+			return token{kind: tokOp, text: "||", pos: start}, nil
+		}
+		return token{}, lx.errf("unexpected '|'")
+	case c == '+':
+		lx.i++
+		return token{kind: tokOp, text: "+", pos: start}, nil
+	case c == '-':
+		if lx.i+1 < len(lx.src) && isDigit(lx.src[lx.i+1]) {
+			return lx.number()
+		}
+		lx.i++
+		return token{kind: tokOp, text: "-", pos: start}, nil
+	case c == '/':
+		lx.i++
+		return token{kind: tokOp, text: "/", pos: start}, nil
+	case isDigit(c):
+		return lx.number()
+	case isIdentStart(rune(c)):
+		name := lx.ident()
+		// Prefixed name: label ':' local. The label may be empty only
+		// via the ':' branch below.
+		if lx.i < len(lx.src) && lx.src[lx.i] == ':' {
+			lx.i++
+			local := lx.pnameLocal()
+			return token{kind: tokPName, text: name + ":" + local, pos: start}, nil
+		}
+		return token{kind: tokIdent, text: name, pos: start}, nil
+	case c == ':':
+		lx.i++
+		local := lx.pnameLocal()
+		return token{kind: tokPName, text: ":" + local, pos: start}, nil
+	default:
+		return token{}, lx.errf("unexpected character %q", c)
+	}
+}
+
+func (lx *lexer) skipWS() {
+	for lx.i < len(lx.src) {
+		c := lx.src[lx.i]
+		if c == '#' {
+			j := strings.IndexByte(lx.src[lx.i:], '\n')
+			if j < 0 {
+				lx.i = len(lx.src)
+				return
+			}
+			lx.i += j + 1
+			continue
+		}
+		if c == ' ' || c == '\t' || c == '\n' || c == '\r' {
+			lx.i++
+			continue
+		}
+		return
+	}
+}
+
+func (lx *lexer) ident() string {
+	start := lx.i
+	for lx.i < len(lx.src) && isIdentPart(rune(lx.src[lx.i])) {
+		lx.i++
+	}
+	return lx.src[start:lx.i]
+}
+
+// pnameLocal scans the local part of a prefixed name, which may contain
+// dots as long as they are not terminal.
+func (lx *lexer) pnameLocal() string {
+	start := lx.i
+	for lx.i < len(lx.src) {
+		c := rune(lx.src[lx.i])
+		if isIdentPart(c) || c == '-' {
+			lx.i++
+			continue
+		}
+		if c == '.' && lx.i+1 < len(lx.src) && isIdentPart(rune(lx.src[lx.i+1])) {
+			lx.i++
+			continue
+		}
+		break
+	}
+	return lx.src[start:lx.i]
+}
+
+func (lx *lexer) stringLit(quote byte) (string, error) {
+	lx.i++ // opening quote
+	var b strings.Builder
+	for lx.i < len(lx.src) {
+		c := lx.src[lx.i]
+		if c == quote {
+			lx.i++
+			return b.String(), nil
+		}
+		if c == '\\' {
+			lx.i++
+			if lx.i >= len(lx.src) {
+				return "", lx.errf("dangling escape")
+			}
+			switch lx.src[lx.i] {
+			case 'n':
+				b.WriteByte('\n')
+			case 't':
+				b.WriteByte('\t')
+			case 'r':
+				b.WriteByte('\r')
+			case '"':
+				b.WriteByte('"')
+			case '\'':
+				b.WriteByte('\'')
+			case '\\':
+				b.WriteByte('\\')
+			default:
+				return "", lx.errf("unsupported escape \\%c", lx.src[lx.i])
+			}
+			lx.i++
+			continue
+		}
+		if c == '\n' {
+			return "", lx.errf("newline in string literal")
+		}
+		b.WriteByte(c)
+		lx.i++
+	}
+	return "", lx.errf("unterminated string literal")
+}
+
+func (lx *lexer) number() (token, error) {
+	start := lx.i
+	if lx.src[lx.i] == '-' || lx.src[lx.i] == '+' {
+		lx.i++
+	}
+	seenDot := false
+	for lx.i < len(lx.src) {
+		c := lx.src[lx.i]
+		if isDigit(c) {
+			lx.i++
+			continue
+		}
+		if c == '.' && !seenDot && lx.i+1 < len(lx.src) && isDigit(lx.src[lx.i+1]) {
+			seenDot = true
+			lx.i++
+			continue
+		}
+		break
+	}
+	return token{kind: tokNumber, text: lx.src[start:lx.i], pos: start}, nil
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func isIdentStart(r rune) bool {
+	return unicode.IsLetter(r) || r == '_'
+}
+
+func isIdentPart(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_'
+}

@@ -1,0 +1,188 @@
+package sparql
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"sapphire/internal/rdf"
+	"sapphire/internal/store"
+)
+
+// naiveEval is a brute-force reference for basic graph pattern matching:
+// enumerate the full cartesian product of per-pattern matches and keep
+// consistent assignments. Exponential, tiny inputs only — but obviously
+// correct, which is the point.
+func naiveEval(triples []rdf.Triple, patterns []Pattern) []Binding {
+	rows := []Binding{{}}
+	for _, pat := range patterns {
+		var next []Binding
+		for _, row := range rows {
+			for _, tr := range triples {
+				nb := extend(row, pat, tr)
+				if nb != nil {
+					next = append(next, nb)
+				}
+			}
+		}
+		rows = next
+	}
+	return rows
+}
+
+func extend(row Binding, pat Pattern, tr rdf.Triple) Binding {
+	nb := make(Binding, len(row)+3)
+	for k, v := range row {
+		nb[k] = v
+	}
+	bind := func(n Node, t rdf.Term) bool {
+		if !n.IsVar() {
+			return n.Term == t
+		}
+		if cur, ok := nb[n.Var]; ok {
+			return cur == t
+		}
+		nb[n.Var] = t
+		return true
+	}
+	if !bind(pat.S, tr.S) || !bind(pat.P, tr.P) || !bind(pat.O, tr.O) {
+		return nil
+	}
+	return nb
+}
+
+// canonical renders a solution multiset deterministically for equality
+// comparison over the pattern's variables.
+func canonical(rows []Binding, vars []string) []string {
+	out := make([]string, len(rows))
+	for i, row := range rows {
+		key := ""
+		for _, v := range vars {
+			key += row[v].String() + "|"
+		}
+		out[i] = key
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TestEvalAgainstReference cross-checks the optimized evaluator's join
+// results against the brute-force reference on randomized small graphs
+// and patterns — the core correctness property of the SPARQL engine.
+func TestEvalAgainstReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	iris := make([]rdf.Term, 8)
+	for i := range iris {
+		iris[i] = rdf.NewIRI(fmt.Sprintf("http://x/e%d", i))
+	}
+	preds := make([]rdf.Term, 3)
+	for i := range preds {
+		preds[i] = rdf.NewIRI(fmt.Sprintf("http://x/p%d", i))
+	}
+	varNames := []string{"a", "b", "c", "d"}
+
+	randNode := func(varProb float64) Node {
+		if rng.Float64() < varProb {
+			return NewVar(varNames[rng.Intn(len(varNames))])
+		}
+		return NewTermNode(iris[rng.Intn(len(iris))])
+	}
+	randPredNode := func(varProb float64) Node {
+		if rng.Float64() < varProb {
+			return NewVar(varNames[rng.Intn(len(varNames))])
+		}
+		return NewTermNode(preds[rng.Intn(len(preds))])
+	}
+
+	for trial := 0; trial < 60; trial++ {
+		st := store.New()
+		var triples []rdf.Triple
+		n := 5 + rng.Intn(25)
+		for i := 0; i < n; i++ {
+			tr := rdf.NewTriple(
+				iris[rng.Intn(len(iris))],
+				preds[rng.Intn(len(preds))],
+				iris[rng.Intn(len(iris))])
+			if added, err := st.Add(tr); err != nil {
+				t.Fatal(err)
+			} else if added {
+				triples = append(triples, tr)
+			}
+		}
+		np := 1 + rng.Intn(3)
+		patterns := make([]Pattern, np)
+		for i := range patterns {
+			patterns[i] = Pattern{
+				S: randNode(0.7),
+				P: randPredNode(0.3),
+				O: randNode(0.7),
+			}
+		}
+		q := &Query{SelectAll: true, Where: patterns, Limit: -1,
+			Prefixes: map[string]string{}}
+		res, err := Eval(st, q, Options{})
+		if err != nil {
+			t.Fatalf("trial %d: eval: %v", trial, err)
+		}
+		want := naiveEval(triples, patterns)
+		vars := q.Vars()
+		got := canonical(res.Rows, vars)
+		ref := canonical(projectReference(want, vars), vars)
+		if len(got) != len(ref) {
+			t.Fatalf("trial %d: %d rows, reference %d\npatterns: %v",
+				trial, len(got), len(ref), patterns)
+		}
+		for i := range got {
+			if got[i] != ref[i] {
+				t.Fatalf("trial %d row %d:\n got %q\nwant %q\npatterns %v",
+					trial, i, got[i], ref[i], patterns)
+			}
+		}
+	}
+}
+
+// projectReference narrows reference rows to the projected variables (the
+// engine's SELECT * drops nothing, but the reference may carry more).
+func projectReference(rows []Binding, vars []string) []Binding {
+	out := make([]Binding, len(rows))
+	for i, row := range rows {
+		nb := make(Binding, len(vars))
+		for _, v := range vars {
+			if t, ok := row[v]; ok {
+				nb[v] = t
+			}
+		}
+		out[i] = nb
+	}
+	return out
+}
+
+// TestEvalDistinctAgainstReference adds DISTINCT to the cross-check.
+func TestEvalDistinctAgainstReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(123))
+	st := store.New()
+	p := rdf.NewIRI("http://x/p")
+	var triples []rdf.Triple
+	for i := 0; i < 30; i++ {
+		tr := rdf.NewTriple(
+			rdf.NewIRI(fmt.Sprintf("http://x/s%d", rng.Intn(5))),
+			p,
+			rdf.NewIRI(fmt.Sprintf("http://x/o%d", rng.Intn(4))))
+		if added, _ := st.Add(tr); added {
+			triples = append(triples, tr)
+		}
+	}
+	q := MustParse(`SELECT DISTINCT ?o WHERE { ?s <http://x/p> ?o . }`)
+	res, err := Eval(st, q, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[rdf.Term]bool)
+	for _, tr := range triples {
+		seen[tr.O] = true
+	}
+	if len(res.Rows) != len(seen) {
+		t.Errorf("distinct rows = %d, want %d", len(res.Rows), len(seen))
+	}
+}

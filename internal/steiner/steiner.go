@@ -1,0 +1,477 @@
+package steiner
+
+import (
+	"container/heap"
+	"context"
+	"errors"
+	"sort"
+
+	"sapphire/internal/endpoint"
+	"sapphire/internal/rdf"
+)
+
+// Config holds the Algorithm 3 parameters.
+type Config struct {
+	// WQuery is the weight of edges matching query predicates (w_q).
+	WQuery float64
+	// WDefault is the weight of all other edges (w_default > w_q).
+	WDefault float64
+	// QueryBudget caps Source calls (paper: 100 SPARQL queries).
+	QueryBudget int
+	// MaxDegree skips expanding vertices whose neighbor count exceeds
+	// the remaining budget times this factor, the paper's guard against
+	// high-branching vertices. Zero disables the guard.
+	MaxDegree int
+}
+
+// DefaultConfig mirrors the paper's parameters.
+func DefaultConfig() Config {
+	return Config{WQuery: 0.5, WDefault: 1.0, QueryBudget: 100, MaxDegree: 0}
+}
+
+// Result is the outcome of a relaxation attempt.
+type Result struct {
+	// Connected reports whether one seed from every group was joined.
+	Connected bool
+	// Tree is the pruned Steiner tree: RDF edges forming the suggested
+	// query structure.
+	Tree []rdf.Triple
+	// Terminals holds the chosen seed per group (only the groups that
+	// were connected).
+	Terminals []rdf.Term
+	// QueriesUsed is the number of Source calls spent.
+	QueriesUsed int
+	// GroupsConnected is the number of seed groups in the final tree.
+	GroupsConnected int
+}
+
+// Connect grows an approximate Steiner tree joining one seed from each
+// group (Algorithm 3). preferred maps predicate IRIs to true for edges
+// that should receive WQuery weight. The approximation ratio of the
+// underlying algorithm is 2−2/s for s seeds [Hwang, Richards, Winter].
+func Connect(ctx context.Context, src Source, groups [][]rdf.Term, preferred map[string]bool, cfg Config) (*Result, error) {
+	e := &explorer{
+		ctx:       ctx,
+		src:       &sourceWrap{inner: src, budget: cfg.QueryBudget},
+		cfg:       cfg,
+		preferred: preferred,
+		memo:      make(map[rdf.Term][]rdf.Triple),
+		dist:      make(map[key]float64),
+		parent:    make(map[key]parentEdge),
+		settled:   make(map[key]bool),
+		reachedBy: make(map[rdf.Term]map[int]bool),
+		uf:        newUnionFind(len(groups)),
+	}
+	return e.run(groups)
+}
+
+// key identifies a (vertex, group) search state.
+type key struct {
+	v rdf.Term
+	g int
+}
+
+type parentEdge struct {
+	prev rdf.Term
+	edge rdf.Triple
+	seed rdf.Term
+}
+
+type explorer struct {
+	ctx       context.Context
+	src       *sourceWrap
+	cfg       Config
+	preferred map[string]bool
+
+	memo      map[rdf.Term][]rdf.Triple
+	dist      map[key]float64
+	parent    map[key]parentEdge
+	settled   map[key]bool
+	reachedBy map[rdf.Term]map[int]bool
+	uf        *unionFind
+
+	// treeEdges accumulates the connection paths found between groups.
+	treeEdges map[rdf.Triple]bool
+	terminals map[int]rdf.Term
+	// pending holds the best meeting found so far per group pair; a
+	// meeting is only finalized once no shorter one can exist (the
+	// popped frontier distance d guarantees any future meeting costs at
+	// least 2d).
+	pending map[[2]int]meeting
+}
+
+// meeting is a candidate connection between two groups at vertex v.
+type meeting struct {
+	v     rdf.Term
+	total float64
+}
+
+func pairKey(a, b int) [2]int {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]int{a, b}
+}
+
+// sourceWrap counts queries against the budget.
+type sourceWrap struct {
+	inner   Source
+	used    int
+	budget  int
+	limited bool
+}
+
+var errBudget = errors.New("steiner: query budget exhausted")
+
+func (s *sourceWrap) call(fn func() ([]rdf.Triple, error)) ([]rdf.Triple, error) {
+	if s.budget > 0 && s.used >= s.budget {
+		s.limited = true
+		return nil, errBudget
+	}
+	s.used++
+	return fn()
+}
+
+// pqItem is a frontier entry.
+type pqItem struct {
+	k    key
+	d    float64
+	seed rdf.Term
+}
+
+type frontier []pqItem
+
+func (f frontier) Len() int { return len(f) }
+func (f frontier) Less(i, j int) bool {
+	if f[i].d != f[j].d {
+		return f[i].d < f[j].d
+	}
+	// Deterministic tie-break.
+	if c := f[i].k.v.Compare(f[j].k.v); c != 0 {
+		return c < 0
+	}
+	return f[i].k.g < f[j].k.g
+}
+func (f frontier) Swap(i, j int) { f[i], f[j] = f[j], f[i] }
+func (f *frontier) Push(x any)   { *f = append(*f, x.(pqItem)) }
+func (f *frontier) Pop() any     { old := *f; n := len(old); it := old[n-1]; *f = old[:n-1]; return it }
+
+func (e *explorer) run(groups [][]rdf.Term) (*Result, error) {
+	e.treeEdges = make(map[rdf.Triple]bool)
+	e.terminals = make(map[int]rdf.Term)
+
+	pq := &frontier{}
+	heap.Init(pq)
+	for g, seeds := range groups {
+		for _, s := range seeds {
+			k := key{s, g}
+			e.dist[k] = 0
+			e.parent[k] = parentEdge{seed: s}
+			heap.Push(pq, pqItem{k: k, d: 0, seed: s})
+		}
+	}
+	e.pending = make(map[[2]int]meeting)
+	for pq.Len() > 0 {
+		if e.uf.components == 1 {
+			break
+		}
+		it := heap.Pop(pq).(pqItem)
+		if e.settled[it.k] || it.d > e.dist[it.k] {
+			continue
+		}
+		// Finalize pending meetings that can no longer be improved. A
+		// meeting discovered later settles one side at d' ≥ the popped
+		// d, so its total is at least d: anything pending at ≤ d is
+		// provably the shortest connection for its pair.
+		e.finalizeMeetings(it.d)
+		if e.uf.components == 1 {
+			break
+		}
+		e.settled[it.k] = true
+		v, g := it.k.v, it.k.g
+
+		// Meeting check: has another group already reached v? Record the
+		// candidate; finalization waits until it is provably shortest.
+		if by := e.reachedBy[v]; by != nil {
+			for og := range by {
+				if e.uf.find(og) == e.uf.find(g) {
+					continue
+				}
+				total := e.dist[key{v, g}] + e.dist[key{v, og}]
+				k := pairKey(g, og)
+				if cur, ok := e.pending[k]; !ok || total < cur.total {
+					e.pending[k] = meeting{v: v, total: total}
+				}
+			}
+		}
+		if e.reachedBy[v] == nil {
+			e.reachedBy[v] = make(map[int]bool)
+		}
+		e.reachedBy[v][g] = true
+
+		neighbors, err := e.expand(v)
+		if err != nil {
+			if errors.Is(err, errBudget) {
+				break
+			}
+			// Endpoint timeouts/rejections during expansion skip the
+			// vertex rather than failing the suggestion.
+			if errors.Is(err, endpoint.ErrTimeout) || errors.Is(err, endpoint.ErrRejected) {
+				continue
+			}
+			return nil, err
+		}
+		// High-branching guard: skip relaxation when the vertex fans out
+		// beyond what the remaining budget could ever explore.
+		if e.cfg.MaxDegree > 0 && len(neighbors) > e.cfg.MaxDegree {
+			continue
+		}
+		for _, tr := range neighbors {
+			w := e.cfg.WDefault
+			if e.preferred[tr.P.Value] {
+				w = e.cfg.WQuery
+			}
+			other := tr.S
+			if other == v {
+				other = tr.O
+			}
+			nk := key{other, g}
+			nd := it.d + w
+			if cur, ok := e.dist[nk]; !ok || nd < cur {
+				e.dist[nk] = nd
+				e.parent[nk] = parentEdge{prev: v, edge: tr, seed: it.seed}
+				heap.Push(pq, pqItem{k: nk, d: nd, seed: it.seed})
+			}
+		}
+	}
+
+	// Flush whatever meetings remain (frontier exhausted or budget hit:
+	// no better candidates can appear).
+	e.finalizeMeetings(1e18)
+	return e.finish(groups)
+}
+
+// finalizeMeetings commits every pending meeting whose total cost is at
+// most bound, cheapest first, skipping pairs already connected
+// transitively.
+func (e *explorer) finalizeMeetings(bound float64) {
+	for {
+		bestKey := [2]int{-1, -1}
+		bestTotal := bound
+		for k, m := range e.pending {
+			if m.total <= bestTotal {
+				bestTotal = m.total
+				bestKey = k
+			}
+		}
+		if bestKey[0] < 0 {
+			return
+		}
+		m := e.pending[bestKey]
+		delete(e.pending, bestKey)
+		if e.uf.find(bestKey[0]) == e.uf.find(bestKey[1]) {
+			continue
+		}
+		e.recordConnection(m.v, bestKey[0], bestKey[1])
+	}
+}
+
+// expand returns the neighbor triples of v, memoized.
+func (e *explorer) expand(v rdf.Term) ([]rdf.Triple, error) {
+	if ts, ok := e.memo[v]; ok {
+		return ts, nil
+	}
+	var out []rdf.Triple
+	ts, err := e.src.call(func() ([]rdf.Triple, error) {
+		return e.src.inner.TriplesWithObject(e.ctx, v)
+	})
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, ts...)
+	if v.IsIRI() {
+		ts, err = e.src.call(func() ([]rdf.Triple, error) {
+			return e.src.inner.TriplesWithSubject(e.ctx, v)
+		})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ts...)
+	}
+	e.memo[v] = out
+	return out, nil
+}
+
+// recordConnection walks both parent chains from the meeting vertex and
+// adds the path edges to the tree, unioning the groups.
+func (e *explorer) recordConnection(v rdf.Term, g1, g2 int) {
+	for _, g := range []int{g1, g2} {
+		cur := key{v, g}
+		for {
+			pe, ok := e.parent[cur]
+			if !ok || pe.prev.IsZero() {
+				if ok {
+					e.terminals[g] = pe.seed
+				}
+				break
+			}
+			e.treeEdges[pe.edge] = true
+			cur = key{pe.prev, g}
+		}
+	}
+	e.uf.union(g1, g2)
+}
+
+// finish builds the induced subgraph over the connection vertices,
+// computes its minimum spanning tree, and prunes degree-1 non-terminals.
+func (e *explorer) finish(groups [][]rdf.Term) (*Result, error) {
+	res := &Result{QueriesUsed: e.src.used}
+	if len(e.treeEdges) == 0 {
+		res.Connected = len(groups) <= 1
+		return res, nil
+	}
+	// Vertices of g.
+	verts := make(map[rdf.Term]bool)
+	for tr := range e.treeEdges {
+		verts[tr.S] = true
+		verts[tr.O] = true
+	}
+	// Induced subgraph g′: all memoized edges between tree vertices.
+	edgeSet := make(map[rdf.Triple]bool)
+	for tr := range e.treeEdges {
+		edgeSet[tr] = true
+	}
+	for v, ts := range e.memo {
+		if !verts[v] {
+			continue
+		}
+		for _, tr := range ts {
+			if verts[tr.S] && verts[tr.O] {
+				edgeSet[tr] = true
+			}
+		}
+	}
+	edges := make([]rdf.Triple, 0, len(edgeSet))
+	for tr := range edgeSet {
+		edges = append(edges, tr)
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		wi, wj := e.weight(edges[i]), e.weight(edges[j])
+		if wi != wj {
+			return wi < wj
+		}
+		return tripleLess(edges[i], edges[j])
+	})
+	// Kruskal MST over the induced subgraph.
+	idx := make(map[rdf.Term]int, len(verts))
+	for v := range verts {
+		idx[v] = len(idx)
+	}
+	uf := newUnionFind(len(idx))
+	var mst []rdf.Triple
+	for _, tr := range edges {
+		a, b := idx[tr.S], idx[tr.O]
+		if uf.find(a) != uf.find(b) {
+			uf.union(a, b)
+			mst = append(mst, tr)
+		}
+	}
+	// Prune degree-1 non-terminals repeatedly.
+	terminalSet := make(map[rdf.Term]bool)
+	for _, t := range e.terminals {
+		terminalSet[t] = true
+	}
+	mst = pruneLeaves(mst, terminalSet)
+
+	res.Tree = mst
+	res.GroupsConnected = 0
+	for g := range groups {
+		if _, ok := e.terminals[g]; ok {
+			res.GroupsConnected++
+			res.Terminals = append(res.Terminals, e.terminals[g])
+		}
+	}
+	roots := make(map[int]bool)
+	for g := range groups {
+		roots[e.uf.find(g)] = true
+	}
+	res.Connected = len(roots) == 1 && res.GroupsConnected == len(groups)
+	sort.Slice(res.Terminals, func(i, j int) bool {
+		return res.Terminals[i].Compare(res.Terminals[j]) < 0
+	})
+	return res, nil
+}
+
+func (e *explorer) weight(tr rdf.Triple) float64 {
+	if e.preferred[tr.P.Value] {
+		return e.cfg.WQuery
+	}
+	return e.cfg.WDefault
+}
+
+func tripleLess(a, b rdf.Triple) bool {
+	if c := a.S.Compare(b.S); c != 0 {
+		return c < 0
+	}
+	if c := a.P.Compare(b.P); c != 0 {
+		return c < 0
+	}
+	return a.O.Compare(b.O) < 0
+}
+
+// pruneLeaves removes degree-1 vertices that are not terminals until a
+// fixed point, per the last step of Algorithm 3.
+func pruneLeaves(edges []rdf.Triple, terminals map[rdf.Term]bool) []rdf.Triple {
+	for {
+		deg := make(map[rdf.Term]int)
+		for _, tr := range edges {
+			deg[tr.S]++
+			deg[tr.O]++
+		}
+		removed := false
+		var out []rdf.Triple
+		for _, tr := range edges {
+			dropS := deg[tr.S] == 1 && !terminals[tr.S]
+			dropO := deg[tr.O] == 1 && !terminals[tr.O]
+			if dropS || dropO {
+				removed = true
+				continue
+			}
+			out = append(out, tr)
+		}
+		edges = out
+		if !removed {
+			return edges
+		}
+	}
+}
+
+// unionFind is a small disjoint-set structure over group ids.
+type unionFind struct {
+	parent     []int
+	components int
+}
+
+func newUnionFind(n int) *unionFind {
+	uf := &unionFind{parent: make([]int, n), components: n}
+	for i := range uf.parent {
+		uf.parent[i] = i
+	}
+	return uf
+}
+
+func (u *unionFind) find(x int) int {
+	for u.parent[x] != x {
+		u.parent[x] = u.parent[u.parent[x]]
+		x = u.parent[x]
+	}
+	return x
+}
+
+func (u *unionFind) union(a, b int) {
+	ra, rb := u.find(a), u.find(b)
+	if ra != rb {
+		u.parent[ra] = rb
+		u.components--
+	}
+}

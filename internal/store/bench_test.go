@@ -1,0 +1,56 @@
+package store
+
+import (
+	"fmt"
+	"testing"
+
+	"sapphire/internal/rdf"
+)
+
+func benchStore(n int) *Store {
+	s := New()
+	p := rdf.NewIRI("http://x/p")
+	typ := rdf.NewIRI(rdf.RDFType)
+	cls := rdf.NewIRI("http://x/C")
+	for i := 0; i < n; i++ {
+		subj := rdf.NewIRI(fmt.Sprintf("http://x/s%d", i))
+		s.MustAdd(rdf.NewTriple(subj, typ, cls))
+		s.MustAdd(rdf.NewTriple(subj, p, rdf.NewLiteral(fmt.Sprintf("value %d", i))))
+	}
+	return s
+}
+
+// BenchmarkMatchByPredicate measures the POS index sweep.
+func BenchmarkMatchByPredicate(b *testing.B) {
+	s := benchStore(5000)
+	p := rdf.NewIRI("http://x/p")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		s.Match(rdf.Term{}, p, rdf.Term{}, func(rdf.Triple) bool { n++; return true })
+	}
+}
+
+// BenchmarkMatchBySubject measures the SPO point lookup.
+func BenchmarkMatchBySubject(b *testing.B) {
+	s := benchStore(5000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		subj := rdf.NewIRI(fmt.Sprintf("http://x/s%d", i%5000))
+		s.MatchSlice(subj, rdf.Term{}, rdf.Term{})
+	}
+}
+
+// BenchmarkAdd measures insert throughput with index maintenance.
+func BenchmarkAdd(b *testing.B) {
+	s := New()
+	p := rdf.NewIRI("http://x/p")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		subj := rdf.NewIRI(fmt.Sprintf("http://x/s%d", i))
+		if _, err := s.Add(rdf.NewTriple(subj, p, rdf.NewLiteral(fmt.Sprint(i)))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

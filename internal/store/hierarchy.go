@@ -1,0 +1,130 @@
+package store
+
+import (
+	"sort"
+
+	"sapphire/internal/rdf"
+)
+
+// ClassHierarchy is the RDFS class tree Sapphire builds from query Q2 and
+// then walks root-to-leaves during initialization. Children are sorted
+// for deterministic traversal.
+type ClassHierarchy struct {
+	// Roots are the classes with no superclass in the dataset.
+	Roots []rdf.Term
+	// Children maps each class to its direct subclasses.
+	Children map[rdf.Term][]rdf.Term
+	// Parents maps each class to its direct superclasses.
+	Parents map[rdf.Term][]rdf.Term
+}
+
+// HasHierarchy reports whether the dataset defines any rdfs:subClassOf
+// edges. The paper notes ~75% of LOD datasets do; the rest fall back to
+// the rdf:type frequency strategy (Q3/Q7).
+func (s *Store) HasHierarchy() bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.pos[rdf.NewIRI(rdf.RDFSSubClassOf)]) > 0
+}
+
+// Hierarchy extracts the class hierarchy from rdfs:subClassOf triples
+// (initialization query Q2). Cycles are broken by ignoring back-edges to
+// already-seen classes during root computation.
+func (s *Store) Hierarchy() *ClassHierarchy {
+	sub := rdf.NewIRI(rdf.RDFSSubClassOf)
+	h := &ClassHierarchy{
+		Children: make(map[rdf.Term][]rdf.Term),
+		Parents:  make(map[rdf.Term][]rdf.Term),
+	}
+	classes := make(map[rdf.Term]struct{})
+	s.Match(rdf.Term{}, sub, rdf.Term{}, func(tr rdf.Triple) bool {
+		h.Children[tr.O] = append(h.Children[tr.O], tr.S)
+		h.Parents[tr.S] = append(h.Parents[tr.S], tr.O)
+		classes[tr.S] = struct{}{}
+		classes[tr.O] = struct{}{}
+		return true
+	})
+	for c := range h.Children {
+		sortTerms(h.Children[c])
+	}
+	for c := range h.Parents {
+		sortTerms(h.Parents[c])
+	}
+	for c := range classes {
+		if len(h.Parents[c]) == 0 {
+			h.Roots = append(h.Roots, c)
+		}
+	}
+	sortTerms(h.Roots)
+	return h
+}
+
+// Walk visits classes breadth-first from the roots. Returning false from
+// fn prunes that class's subtree (the paper skips subclasses once a class
+// query succeeds). Each class is visited at most once even in DAGs.
+func (h *ClassHierarchy) Walk(fn func(class rdf.Term, depth int) bool) {
+	type item struct {
+		class rdf.Term
+		depth int
+	}
+	queue := make([]item, 0, len(h.Roots))
+	for _, r := range h.Roots {
+		queue = append(queue, item{r, 0})
+	}
+	seen := make(map[rdf.Term]struct{})
+	for len(queue) > 0 {
+		it := queue[0]
+		queue = queue[1:]
+		if _, dup := seen[it.class]; dup {
+			continue
+		}
+		seen[it.class] = struct{}{}
+		if !fn(it.class, it.depth) {
+			continue
+		}
+		for _, c := range h.Children[it.class] {
+			queue = append(queue, item{c, it.depth + 1})
+		}
+	}
+}
+
+// Classes returns every class in the hierarchy, sorted.
+func (h *ClassHierarchy) Classes() []rdf.Term {
+	set := make(map[rdf.Term]struct{})
+	for c := range h.Children {
+		set[c] = struct{}{}
+	}
+	for c := range h.Parents {
+		set[c] = struct{}{}
+	}
+	out := make([]rdf.Term, 0, len(set))
+	for c := range set {
+		out = append(out, c)
+	}
+	sortTerms(out)
+	return out
+}
+
+// Descendants returns the transitive subclasses of class, not including
+// class itself.
+func (h *ClassHierarchy) Descendants(class rdf.Term) []rdf.Term {
+	var out []rdf.Term
+	seen := map[rdf.Term]struct{}{class: {}}
+	queue := append([]rdf.Term(nil), h.Children[class]...)
+	for len(queue) > 0 {
+		c := queue[0]
+		queue = queue[1:]
+		if _, dup := seen[c]; dup {
+			continue
+		}
+		seen[c] = struct{}{}
+		out = append(out, c)
+		queue = append(queue, h.Children[c]...)
+	}
+	sortTerms(out)
+	return out
+}
+
+func sortTerms(ts []rdf.Term) {
+	sort.Slice(ts, func(i, j int) bool { return ts[i].Compare(ts[j]) < 0 })
+}

@@ -1,0 +1,136 @@
+package store
+
+import (
+	"sort"
+
+	"sapphire/internal/rdf"
+)
+
+// PredicateFrequency is one row of the Q1/Q4 aggregates: a predicate and
+// how many triples (or literal-valued triples) use it.
+type PredicateFrequency struct {
+	Predicate rdf.Term
+	Count     int
+}
+
+// PredicateFrequencies returns all predicates ordered by descending triple
+// count (ties broken by term order), mirroring initialization query Q1.
+func (s *Store) PredicateFrequencies() []PredicateFrequency {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]PredicateFrequency, 0, len(s.pos))
+	for p, byO := range s.pos {
+		n := 0
+		for _, subs := range byO {
+			n += len(subs)
+		}
+		out = append(out, PredicateFrequency{Predicate: p, Count: n})
+	}
+	sortFreq(out)
+	return out
+}
+
+// LiteralPredicateFrequencies returns predicates that have at least one
+// literal object, ordered by descending count of literal objects. This is
+// initialization query Q4 (FILTER isliteral(?o)).
+func (s *Store) LiteralPredicateFrequencies() []PredicateFrequency {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]PredicateFrequency, 0, len(s.pos))
+	for p, byO := range s.pos {
+		n := 0
+		for o, subs := range byO {
+			if o.IsLiteral() {
+				n += len(subs)
+			}
+		}
+		if n > 0 {
+			out = append(out, PredicateFrequency{Predicate: p, Count: n})
+		}
+	}
+	sortFreq(out)
+	return out
+}
+
+// TypeFrequencies returns the rdf:type objects ordered by how many
+// subjects carry them — initialization query Q3 for datasets without an
+// RDFS hierarchy.
+func (s *Store) TypeFrequencies() []PredicateFrequency {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	byO := s.pos[rdf.NewIRI(rdf.RDFType)]
+	out := make([]PredicateFrequency, 0, len(byO))
+	for o, subs := range byO {
+		out = append(out, PredicateFrequency{Predicate: o, Count: len(subs)})
+	}
+	sortFreq(out)
+	return out
+}
+
+func sortFreq(fs []PredicateFrequency) {
+	sort.Slice(fs, func(i, j int) bool {
+		if fs[i].Count != fs[j].Count {
+			return fs[i].Count > fs[j].Count
+		}
+		return fs[i].Predicate.Compare(fs[j].Predicate) < 0
+	})
+}
+
+// DistinctLiterals returns the number of distinct literal terms, one of
+// the dataset-scale statistics the paper reports (DBpedia: ~70M literals
+// vs ~3K predicates).
+func (s *Store) DistinctLiterals() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	n := 0
+	for o := range s.osp {
+		if o.IsLiteral() {
+			n++
+		}
+	}
+	return n
+}
+
+// IncomingEdgeCount returns the number of triples whose object is the
+// given term — the inner quantity of Definition 1 (literal significance).
+func (s *Store) IncomingEdgeCount(o rdf.Term) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	n := 0
+	for _, ps := range s.osp[o] {
+		n += len(ps)
+	}
+	return n
+}
+
+// LiteralSignificance computes S(l) from Definition 1 for every literal:
+// the number of triples (s, p1, o) such that (o, p2, l) is in the store.
+// That is, a literal inherits the incoming-edge count of the entities it
+// describes. The result maps literal terms to their significance score.
+func (s *Store) LiteralSignificance() map[rdf.Term]int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	sig := make(map[rdf.Term]int)
+	// For each entity o with incoming edges, add its in-degree to every
+	// literal l attached to o.
+	for o, bySubj := range s.osp {
+		if o.IsLiteral() {
+			continue
+		}
+		indeg := 0
+		for _, ps := range bySubj {
+			indeg += len(ps)
+		}
+		if indeg == 0 {
+			continue
+		}
+		for _, objs := range s.spo[o] {
+			for _, l := range objs {
+				if l.IsLiteral() {
+					sig[l] += indeg
+				}
+			}
+		}
+	}
+	return sig
+}

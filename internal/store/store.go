@@ -1,0 +1,267 @@
+// Package store implements the in-memory triple store that backs Sapphire's
+// simulated SPARQL endpoints. It maintains SPO, POS, and OSP hash indexes
+// so that every triple-pattern shape resolves through an index rather than
+// a full scan, and exposes the dataset statistics (predicate frequencies,
+// literal counts, incoming-edge counts) that the paper's initialization
+// queries (Appendix A, Q1–Q10) aggregate over.
+package store
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"sapphire/internal/rdf"
+)
+
+// Store is a concurrency-safe in-memory triple store. The zero value is
+// not usable; call New.
+type Store struct {
+	mu sync.RWMutex
+
+	// Index maps use the three classic permutations. The innermost slice
+	// preserves insertion order, which keeps iteration deterministic.
+	spo map[rdf.Term]map[rdf.Term][]rdf.Term
+	pos map[rdf.Term]map[rdf.Term][]rdf.Term
+	osp map[rdf.Term]map[rdf.Term][]rdf.Term
+
+	// present deduplicates triples.
+	present map[rdf.Triple]struct{}
+
+	size int
+}
+
+// New returns an empty store.
+func New() *Store {
+	return &Store{
+		spo:     make(map[rdf.Term]map[rdf.Term][]rdf.Term),
+		pos:     make(map[rdf.Term]map[rdf.Term][]rdf.Term),
+		osp:     make(map[rdf.Term]map[rdf.Term][]rdf.Term),
+		present: make(map[rdf.Triple]struct{}),
+	}
+}
+
+// Add inserts a triple. It returns an error if the triple violates RDF
+// positional rules, and reports whether the triple was newly added.
+func (s *Store) Add(tr rdf.Triple) (bool, error) {
+	if !tr.Valid() {
+		return false, fmt.Errorf("store: invalid triple %s", tr)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.present[tr]; dup {
+		return false, nil
+	}
+	s.present[tr] = struct{}{}
+	addIdx(s.spo, tr.S, tr.P, tr.O)
+	addIdx(s.pos, tr.P, tr.O, tr.S)
+	addIdx(s.osp, tr.O, tr.S, tr.P)
+	s.size++
+	return true, nil
+}
+
+// AddAll inserts all triples, stopping at the first invalid one.
+func (s *Store) AddAll(triples []rdf.Triple) error {
+	for _, tr := range triples {
+		if _, err := s.Add(tr); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// MustAdd inserts a triple and panics on invalid input. Intended for
+// dataset construction in tests and generators where inputs are static.
+func (s *Store) MustAdd(tr rdf.Triple) {
+	if _, err := s.Add(tr); err != nil {
+		panic(err)
+	}
+}
+
+func addIdx(idx map[rdf.Term]map[rdf.Term][]rdf.Term, a, b, c rdf.Term) {
+	m, ok := idx[a]
+	if !ok {
+		m = make(map[rdf.Term][]rdf.Term)
+		idx[a] = m
+	}
+	m[b] = append(m[b], c)
+}
+
+// Len returns the number of distinct triples.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.size
+}
+
+// Contains reports whether the exact triple is present.
+func (s *Store) Contains(tr rdf.Triple) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	_, ok := s.present[tr]
+	return ok
+}
+
+// Match streams every triple matching the pattern to fn. A zero Term in
+// any position is a wildcard. Iteration stops early if fn returns false.
+// The callback must not mutate the store.
+func (s *Store) Match(sub, pred, obj rdf.Term, fn func(rdf.Triple) bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	s.matchLocked(sub, pred, obj, fn)
+}
+
+func (s *Store) matchLocked(sub, pred, obj rdf.Term, fn func(rdf.Triple) bool) {
+	switch {
+	case !sub.IsZero():
+		byP, ok := s.spo[sub]
+		if !ok {
+			return
+		}
+		if !pred.IsZero() {
+			for _, o := range byP[pred] {
+				if !obj.IsZero() && o != obj {
+					continue
+				}
+				if !fn(rdf.Triple{S: sub, P: pred, O: o}) {
+					return
+				}
+			}
+			return
+		}
+		for _, p := range sortedKeys(byP) {
+			for _, o := range byP[p] {
+				if !obj.IsZero() && o != obj {
+					continue
+				}
+				if !fn(rdf.Triple{S: sub, P: p, O: o}) {
+					return
+				}
+			}
+		}
+	case !pred.IsZero():
+		byO, ok := s.pos[pred]
+		if !ok {
+			return
+		}
+		if !obj.IsZero() {
+			for _, sb := range byO[obj] {
+				if !fn(rdf.Triple{S: sb, P: pred, O: obj}) {
+					return
+				}
+			}
+			return
+		}
+		for _, o := range sortedKeys(byO) {
+			for _, sb := range byO[o] {
+				if !fn(rdf.Triple{S: sb, P: pred, O: o}) {
+					return
+				}
+			}
+		}
+	case !obj.IsZero():
+		byS, ok := s.osp[obj]
+		if !ok {
+			return
+		}
+		for _, sb := range sortedKeys(byS) {
+			for _, p := range byS[sb] {
+				if !fn(rdf.Triple{S: sb, P: p, O: obj}) {
+					return
+				}
+			}
+		}
+	default:
+		// Full scan: iterate SPO deterministically.
+		for _, sb := range sortedKeys(s.spo) {
+			byP := s.spo[sb]
+			for _, p := range sortedKeys(byP) {
+				for _, o := range byP[p] {
+					if !fn(rdf.Triple{S: sb, P: p, O: o}) {
+						return
+					}
+				}
+			}
+		}
+	}
+}
+
+// MatchSlice collects all triples matching the pattern.
+func (s *Store) MatchSlice(sub, pred, obj rdf.Term) []rdf.Triple {
+	var out []rdf.Triple
+	s.Match(sub, pred, obj, func(tr rdf.Triple) bool {
+		out = append(out, tr)
+		return true
+	})
+	return out
+}
+
+// Count returns the number of triples matching the pattern without
+// materializing them.
+func (s *Store) Count(sub, pred, obj rdf.Term) int {
+	n := 0
+	s.Match(sub, pred, obj, func(rdf.Triple) bool {
+		n++
+		return true
+	})
+	return n
+}
+
+// CardinalityEstimate returns an upper-bound estimate of the number of
+// results for a pattern, used by the endpoint cost model and by the
+// federated source selection. It is exact for fully indexed lookups and
+// cheap for the rest.
+func (s *Store) CardinalityEstimate(sub, pred, obj rdf.Term) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	switch {
+	case !sub.IsZero() && !pred.IsZero():
+		return len(s.spo[sub][pred])
+	case !sub.IsZero():
+		n := 0
+		for _, objs := range s.spo[sub] {
+			n += len(objs)
+		}
+		return n
+	case !pred.IsZero() && !obj.IsZero():
+		return len(s.pos[pred][obj])
+	case !pred.IsZero():
+		n := 0
+		for _, subs := range s.pos[pred] {
+			n += len(subs)
+		}
+		return n
+	case !obj.IsZero():
+		n := 0
+		for _, ps := range s.osp[obj] {
+			n += len(ps)
+		}
+		return n
+	default:
+		return s.size
+	}
+}
+
+// Subjects returns the distinct subjects, sorted.
+func (s *Store) Subjects() []rdf.Term {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return sortedKeys(s.spo)
+}
+
+// Predicates returns the distinct predicates, sorted.
+func (s *Store) Predicates() []rdf.Term {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return sortedKeys(s.pos)
+}
+
+// sortedKeys returns map keys in Term order for deterministic iteration.
+func sortedKeys[V any](m map[rdf.Term]V) []rdf.Term {
+	keys := make([]rdf.Term, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i].Compare(keys[j]) < 0 })
+	return keys
+}

@@ -1,0 +1,291 @@
+// Package suffixtree implements a generalized suffix tree built with
+// Ukkonen's on-line algorithm [Ukkonen 1995], the index the paper uses
+// for the Query Completion Module. Lookup of a term t runs in
+// O(|t| + z) where z is the number of occurrences, which is what gives
+// the QCM its sub-millisecond suggestion latency (Section 7.3.1).
+//
+// The tree is generalized over a set of strings by concatenating them
+// with an out-of-band separator rune. Because query strings never contain
+// the separator, any root path that spells a query term lies entirely
+// within one input string, so substring search remains exact.
+package suffixtree
+
+import (
+	"sort"
+	"strings"
+)
+
+// separator terminates each input string inside the concatenated text.
+// Input strings containing it are rejected by Add.
+const separator = '\x00'
+
+// finalMark is appended once after the last string. Because it occurs
+// exactly once, it forces every remaining implicit suffix to become an
+// explicit leaf, which the search relies on to find all occurrences.
+const finalMark = '\x01'
+
+// node is a suffix tree node. Edges are labeled by text[start:*end); all
+// leaves share the builder's global end pointer during construction.
+type node struct {
+	start    int
+	end      *int
+	children map[rune]*node
+	link     *node
+}
+
+func (n *node) edgeLen() int { return *n.end - n.start }
+
+// Tree is a generalized suffix tree over a set of strings.
+type Tree struct {
+	text    []rune
+	root    *node
+	strs    []string
+	offsets []int // start offset of strs[i] inside text
+
+	// Ukkonen construction state.
+	activeNode   *node
+	activeEdge   int
+	activeLength int
+	remaining    int
+	leafEnd      int
+	nodeCount    int
+}
+
+// New builds a tree over the given strings. Strings containing the NUL
+// separator are skipped (they cannot occur in RDF literals Sapphire
+// caches). Duplicate strings are stored once.
+func New(strs []string) *Tree {
+	t := &Tree{}
+	t.root = t.newNode(-1, new(int))
+	t.activeNode = t.root
+	seen := make(map[string]bool, len(strs))
+	for _, s := range strs {
+		if s == "" || strings.ContainsRune(s, separator) ||
+			strings.ContainsRune(s, finalMark) || seen[s] {
+			continue
+		}
+		seen[s] = true
+		t.add(s)
+	}
+	if len(t.strs) > 0 {
+		t.extend(finalMark)
+	}
+	return t
+}
+
+// Strings returns the number of distinct strings indexed.
+func (t *Tree) Strings() int { return len(t.strs) }
+
+// NodeCount returns the number of tree nodes, a proxy for memory use (the
+// paper reports the DBpedia tree at 400MB for 43K strings).
+func (t *Tree) NodeCount() int { return t.nodeCount }
+
+// ApproxBytes estimates the memory footprint of the tree.
+func (t *Tree) ApproxBytes() int {
+	// Each node: struct overhead + children map; each text rune: 4 bytes.
+	return t.nodeCount*96 + len(t.text)*4
+}
+
+func (t *Tree) newNode(start int, end *int) *node {
+	t.nodeCount++
+	return &node{start: start, end: end, children: make(map[rune]*node)}
+}
+
+// add extends the tree with one string using Ukkonen's algorithm over
+// the concatenated text.
+func (t *Tree) add(s string) {
+	t.offsets = append(t.offsets, len(t.text))
+	t.strs = append(t.strs, s)
+	for _, r := range s {
+		t.extend(r)
+	}
+	t.extend(separator)
+}
+
+func (t *Tree) extend(r rune) {
+	t.text = append(t.text, r)
+	pos := len(t.text) - 1
+	t.leafEnd = pos + 1
+	t.remaining++
+	var lastNewNode *node
+
+	for t.remaining > 0 {
+		if t.activeLength == 0 {
+			t.activeEdge = pos
+		}
+		edgeRune := t.text[t.activeEdge]
+		next, ok := t.activeNode.children[edgeRune]
+		if !ok {
+			// Rule 2: new leaf edge from activeNode.
+			leaf := t.newNode(pos, &t.leafEnd)
+			t.activeNode.children[edgeRune] = leaf
+			if lastNewNode != nil {
+				lastNewNode.link = t.activeNode
+				lastNewNode = nil
+			}
+		} else {
+			// Walk down if activeLength spans the edge.
+			if t.activeLength >= next.edgeLen() {
+				t.activeEdge += next.edgeLen()
+				t.activeLength -= next.edgeLen()
+				t.activeNode = next
+				continue
+			}
+			if t.text[next.start+t.activeLength] == r {
+				// Rule 3: already present; stop this phase.
+				if lastNewNode != nil {
+					lastNewNode.link = t.activeNode
+					lastNewNode = nil
+				}
+				t.activeLength++
+				break
+			}
+			// Rule 2 with split.
+			splitEnd := new(int)
+			*splitEnd = next.start + t.activeLength
+			split := t.newNode(next.start, splitEnd)
+			t.activeNode.children[edgeRune] = split
+			leaf := t.newNode(pos, &t.leafEnd)
+			split.children[r] = leaf
+			next.start += t.activeLength
+			split.children[t.text[next.start]] = next
+			if lastNewNode != nil {
+				lastNewNode.link = split
+			}
+			lastNewNode = split
+		}
+		t.remaining--
+		if t.activeNode == t.root && t.activeLength > 0 {
+			t.activeLength--
+			t.activeEdge = pos - t.remaining + 1
+		} else if t.activeNode != t.root {
+			if t.activeNode.link != nil {
+				t.activeNode = t.activeNode.link
+			} else {
+				t.activeNode = t.root
+			}
+		}
+	}
+}
+
+// locus finds the node/edge position reached by matching pattern from the
+// root. It returns the subtree root covering all occurrences and true on
+// a full match.
+func (t *Tree) locus(pattern []rune) (*node, bool) {
+	n := t.root
+	i := 0
+	for i < len(pattern) {
+		child, ok := n.children[pattern[i]]
+		if !ok {
+			return nil, false
+		}
+		elen := child.edgeLen()
+		for j := 0; j < elen && i < len(pattern); j++ {
+			if t.text[child.start+j] != pattern[i] {
+				return nil, false
+			}
+			i++
+		}
+		n = child
+	}
+	return n, true
+}
+
+// collectLeafStarts gathers suffix start positions under n. depth is the
+// total path length from root to n's subtree entry; leaf suffix start =
+// len(text) - pathLen(leaf).
+func (t *Tree) collectLeafStarts(n *node, depth int, out *[]int, limit int) {
+	if len(n.children) == 0 {
+		*out = append(*out, len(t.text)-depth)
+		return
+	}
+	// Deterministic child order.
+	runes := make([]rune, 0, len(n.children))
+	for r := range n.children {
+		runes = append(runes, r)
+	}
+	sort.Slice(runes, func(i, j int) bool { return runes[i] < runes[j] })
+	for _, r := range runes {
+		if limit > 0 && len(*out) >= limit {
+			return
+		}
+		c := n.children[r]
+		t.collectLeafStarts(c, depth+c.edgeLen(), out, limit)
+	}
+}
+
+// stringAt maps a text offset to the index of the containing string.
+func (t *Tree) stringAt(off int) int {
+	i := sort.SearchInts(t.offsets, off+1) - 1
+	return i
+}
+
+// Match is one suffix-tree search result.
+type Match struct {
+	// Value is the indexed string containing the pattern.
+	Value string
+	// Index is the position of Value in insertion order.
+	Index int
+}
+
+// Search returns up to limit distinct indexed strings containing pattern
+// as a substring (limit <= 0 means all), in deterministic order. The
+// empty pattern matches nothing.
+func (t *Tree) Search(pattern string, limit int) []Match {
+	if pattern == "" || strings.ContainsRune(pattern, separator) ||
+		strings.ContainsRune(pattern, finalMark) {
+		return nil
+	}
+	pr := []rune(pattern)
+	n, ok := t.locus(pr)
+	if !ok {
+		return nil
+	}
+	// Path length from root to the top of n's subtree equals at least
+	// len(pattern); the exact depth of n is needed for leaf mapping. We
+	// recompute it by walking again, counting full edge lengths.
+	depth := t.depthOf(pr, n)
+	var starts []int
+	// Over-collect to survive duplicates mapping to the same string.
+	t.collectLeafStarts(n, depth, &starts, 0)
+	seen := make(map[int]bool)
+	var out []Match
+	for _, st := range starts {
+		idx := t.stringAt(st)
+		if idx < 0 || idx >= len(t.strs) || seen[idx] {
+			continue
+		}
+		// Guard: the occurrence must lie inside the string (it always
+		// does when pattern has no separator, but be defensive).
+		end := t.offsets[idx] + len([]rune(t.strs[idx]))
+		if st+len(pr) > end {
+			continue
+		}
+		seen[idx] = true
+		out = append(out, Match{Value: t.strs[idx], Index: idx})
+		if limit > 0 && len(out) >= limit {
+			break
+		}
+	}
+	return out
+}
+
+// Contains reports whether any indexed string contains pattern.
+func (t *Tree) Contains(pattern string) bool {
+	return len(t.Search(pattern, 1)) > 0
+}
+
+// depthOf computes the path length from root to node n reached by
+// matching pattern: the sum of full edge lengths along the way, which may
+// exceed len(pattern) when the locus is in the middle of an edge.
+func (t *Tree) depthOf(pattern []rune, target *node) int {
+	n := t.root
+	i, depth := 0, 0
+	for i < len(pattern) {
+		child := n.children[pattern[i]]
+		depth += child.edgeLen()
+		i += child.edgeLen()
+		n = child
+	}
+	return depth
+}

@@ -1,0 +1,138 @@
+// Package webapi exposes a sapphire.Client as the JSON HTTP API served
+// by cmd/sapphire-server — the interface the paper's web UI talks to
+// (Figure 1's client ↔ Sapphire server arrows):
+//
+//	GET  /complete?term=...        QCM auto-completions
+//	POST /query    (SPARQL body)   federated execution
+//	POST /suggest  (SPARQL body)   QSM suggestions
+//	POST /run      (SPARQL body)   answers + suggestions
+//	GET  /stats                    initialization statistics
+package webapi
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+
+	"sapphire"
+	"sapphire/internal/rdf"
+)
+
+// Handler returns the API mux over a client.
+func Handler(client *sapphire.Client) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/complete", func(w http.ResponseWriter, r *http.Request) {
+		term := r.URL.Query().Get("term")
+		writeJSON(w, completionsJSON(client.Complete(term)))
+	})
+	mux.HandleFunc("/query", func(w http.ResponseWriter, r *http.Request) {
+		query, ok := readBody(w, r)
+		if !ok {
+			return
+		}
+		res, err := client.Query(r.Context(), query)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		writeJSON(w, ResultsJSON(res))
+	})
+	mux.HandleFunc("/suggest", func(w http.ResponseWriter, r *http.Request) {
+		query, ok := readBody(w, r)
+		if !ok {
+			return
+		}
+		sugs, err := client.Suggest(r.Context(), query)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		writeJSON(w, SuggestionsJSON(sugs))
+	})
+	mux.HandleFunc("/run", func(w http.ResponseWriter, r *http.Request) {
+		query, ok := readBody(w, r)
+		if !ok {
+			return
+		}
+		res, sugs, err := client.Run(r.Context(), query)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		writeJSON(w, map[string]any{
+			"results":     ResultsJSON(res),
+			"suggestions": SuggestionsJSON(sugs),
+		})
+	})
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, client.Stats())
+	})
+	return mux
+}
+
+func readBody(w http.ResponseWriter, r *http.Request) (string, bool) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST the SPARQL query as the request body", http.StatusMethodNotAllowed)
+		return "", false
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	if err != nil || len(strings.TrimSpace(string(body))) == 0 {
+		http.Error(w, "empty query", http.StatusBadRequest)
+		return "", false
+	}
+	return string(body), true
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// ResultsJSON renders a result set for the UI: vars plus rows of
+// variable → rendered term.
+func ResultsJSON(res *sapphire.Results) map[string]any {
+	rows := make([]map[string]string, 0, len(res.Rows))
+	for _, row := range res.Rows {
+		m := make(map[string]string, len(row))
+		for v, t := range row {
+			m[v] = renderTerm(t)
+		}
+		rows = append(rows, m)
+	}
+	return map[string]any{"vars": res.Vars, "rows": rows}
+}
+
+func renderTerm(t rdf.Term) string {
+	if t.IsIRI() {
+		return t.Value
+	}
+	return t.String()
+}
+
+// SuggestionsJSON renders QSM suggestions with the one-change-at-a-time
+// message of Section 4.
+func SuggestionsJSON(sugs []sapphire.Suggestion) []map[string]any {
+	out := make([]map[string]any, 0, len(sugs))
+	for _, s := range sugs {
+		out = append(out, map[string]any{
+			"kind":    s.Kind.String(),
+			"message": s.Message(),
+			"query":   s.Query.String(),
+			"answers": s.Answers,
+		})
+	}
+	return out
+}
+
+func completionsJSON(comps []sapphire.Completion) []map[string]any {
+	out := make([]map[string]any, 0, len(comps))
+	for _, c := range comps {
+		out = append(out, map[string]any{
+			"text":        c.Text,
+			"isPredicate": c.IsPredicate,
+			"fromTree":    c.FromTree,
+		})
+	}
+	return out
+}

@@ -1,0 +1,177 @@
+package webapi
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"sapphire"
+	"sapphire/internal/datagen"
+	"sapphire/internal/endpoint"
+)
+
+var shared *httptest.Server
+
+func apiServer(t testing.TB) *httptest.Server {
+	t.Helper()
+	if shared != nil {
+		return shared
+	}
+	d := datagen.Generate(datagen.SmallConfig())
+	ep := endpoint.NewLocal("synthetic-dbpedia", d.Store, endpoint.Limits{})
+	client := sapphire.New(sapphire.Defaults())
+	if err := client.RegisterEndpoint(context.Background(), ep); err != nil {
+		t.Fatal(err)
+	}
+	shared = httptest.NewServer(Handler(client))
+	return shared
+}
+
+func getJSON(t testing.TB, url string, into any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(into); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func postJSON(t testing.TB, url, body string, into any) int {
+	t.Helper()
+	resp, err := http.Post(url, "application/sparql-query", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(into); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func TestCompleteEndpoint(t *testing.T) {
+	srv := apiServer(t)
+	var comps []map[string]any
+	if code := getJSON(t, srv.URL+"/complete?term=Kerouac", &comps); code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if len(comps) == 0 {
+		t.Fatal("no completions over HTTP")
+	}
+	found := false
+	for _, c := range comps {
+		if c["text"] == "Jack Kerouac" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("completions = %v", comps)
+	}
+}
+
+func TestQueryEndpoint(t *testing.T) {
+	srv := apiServer(t)
+	var out map[string]any
+	code := postJSON(t, srv.URL+"/query",
+		`SELECT ?w WHERE { <http://dbpedia.org/resource/Tom_Hanks> <http://dbpedia.org/ontology/spouse> ?w . }`, &out)
+	if code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	rows := out["rows"].([]any)
+	if len(rows) != 1 {
+		t.Fatalf("rows = %v", rows)
+	}
+	row := rows[0].(map[string]any)
+	if row["w"] != "http://dbpedia.org/resource/Rita_Wilson" {
+		t.Errorf("row = %v", row)
+	}
+}
+
+func TestRunEndpointWithSuggestions(t *testing.T) {
+	srv := apiServer(t)
+	var out struct {
+		Results     map[string]any   `json:"results"`
+		Suggestions []map[string]any `json:"suggestions"`
+	}
+	code := postJSON(t, srv.URL+"/run",
+		`SELECT ?p WHERE { ?p <http://dbpedia.org/ontology/name> "Ted Kennedys"@en . }`, &out)
+	if code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if len(out.Suggestions) == 0 {
+		t.Fatal("no suggestions in /run response")
+	}
+	s := out.Suggestions[0]
+	msg, _ := s["message"].(string)
+	if !strings.Contains(msg, "instead of") && !strings.Contains(msg, "relaxed") {
+		t.Errorf("message = %q", msg)
+	}
+	if _, ok := s["answers"].(float64); !ok {
+		t.Errorf("answers missing: %v", s)
+	}
+}
+
+func TestSuggestEndpoint(t *testing.T) {
+	srv := apiServer(t)
+	var sugs []map[string]any
+	code := postJSON(t, srv.URL+"/suggest",
+		`SELECT ?p WHERE { ?p <http://dbpedia.org/ontology/name> "Ted Kennedys"@en . }`, &sugs)
+	if code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if len(sugs) == 0 {
+		t.Error("no suggestions")
+	}
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	srv := apiServer(t)
+	var stats map[string]any
+	if code := getJSON(t, srv.URL+"/stats", &stats); code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if stats["PredicateCount"].(float64) == 0 {
+		t.Errorf("stats = %v", stats)
+	}
+}
+
+func TestErrorPaths(t *testing.T) {
+	srv := apiServer(t)
+	// GET on a POST-only route.
+	resp, err := http.Get(srv.URL + "/query")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /query = %d", resp.StatusCode)
+	}
+	// Empty body.
+	var out any
+	if code := postJSON(t, srv.URL+"/query", "  ", &out); code != http.StatusBadRequest {
+		t.Errorf("empty body = %d", code)
+	}
+	// Unparseable query.
+	if code := postJSON(t, srv.URL+"/query", "garbage", &out); code != http.StatusBadRequest {
+		t.Errorf("bad query = %d", code)
+	}
+	if code := postJSON(t, srv.URL+"/suggest", "garbage", &out); code != http.StatusBadRequest {
+		t.Errorf("bad suggest = %d", code)
+	}
+	if code := postJSON(t, srv.URL+"/run", "garbage", &out); code != http.StatusBadRequest {
+		t.Errorf("bad run = %d", code)
+	}
+}
