@@ -1,0 +1,29 @@
+# Sapphire build/test/bench entry points.
+#
+#   make test   - vet gate + full test suite
+#   make race   - race-detector pass over the concurrency-sensitive packages
+#   make bench  - full benchmark sweep (3 runs, alloc stats) saved to
+#                 BENCH_<yyyy-mm-dd>.txt for before/after comparisons
+#   make vet    - static analysis only
+
+GO ?= go
+BENCH_OUT := BENCH_$(shell date +%Y-%m-%d).txt
+
+.PHONY: all test vet race bench build
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test: vet
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/store/ ./internal/sparql/ ./internal/endpoint/ ./internal/federation/
+
+bench:
+	$(GO) test -run '^$$' -bench=. -benchmem -count=3 ./... | tee $(BENCH_OUT)

@@ -1,0 +1,3 @@
+module sapphire
+
+go 1.24

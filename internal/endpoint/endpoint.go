@@ -16,7 +16,6 @@ import (
 	"sync"
 	"time"
 
-	"sapphire/internal/rdf"
 	"sapphire/internal/sparql"
 	"sapphire/internal/store"
 )
@@ -172,20 +171,29 @@ func (l *Local) Query(ctx context.Context, query string) (*sparql.Results, error
 
 // estimate approximates query cost as the sum of per-pattern cardinality
 // estimates, an intentionally crude model of the admission controllers
-// public endpoints run.
+// public endpoints run. It stays in the store's ID space: each constant
+// is looked up in the term dictionary once, and a constant the store has
+// never seen makes its pattern free (it can match nothing).
 func (l *Local) estimate(q *sparql.Query) int {
 	total := 0
 	for _, pat := range q.Where {
-		total += l.store.CardinalityEstimate(nodeTerm(pat.S), nodeTerm(pat.P), nodeTerm(pat.O))
+		s, sOK := nodeID(l.store, pat.S)
+		p, pOK := nodeID(l.store, pat.P)
+		o, oOK := nodeID(l.store, pat.O)
+		if !sOK || !pOK || !oOK {
+			continue
+		}
+		total += l.store.CardinalityEstimateIDs(s, p, o)
 	}
 	return total
 }
 
-// nodeTerm maps a pattern node to the wildcard-or-constant convention of
-// store.Match: variables become the zero term.
-func nodeTerm(n sparql.Node) rdf.Term {
+// nodeID maps a pattern node to the wildcard-or-constant convention of
+// store.MatchIDs: variables become the Wildcard ID. ok is false when a
+// constant term is absent from the store's dictionary.
+func nodeID(st *store.Store, n sparql.Node) (store.ID, bool) {
 	if n.IsVar() {
-		return rdf.Term{}
+		return store.Wildcard, true
 	}
-	return n.Term
+	return st.Lookup(n.Term)
 }

@@ -95,22 +95,35 @@ func (t Term) IsZero() bool { return t.Kind == KindInvalid }
 // String renders the term in N-Triples syntax. Invalid terms render as
 // "<invalid>".
 func (t Term) String() string {
+	var b strings.Builder
+	t.StringTo(&b)
+	return b.String()
+}
+
+// StringTo appends the N-Triples rendering of the term to b, producing
+// exactly the bytes of String without the intermediate allocations. Hot
+// paths that build composite keys from several terms use it.
+func (t Term) StringTo(b *strings.Builder) {
 	switch t.Kind {
 	case KindIRI:
-		return "<" + t.Value + ">"
+		b.WriteByte('<')
+		b.WriteString(t.Value)
+		b.WriteByte('>')
 	case KindLiteral:
-		s := quoteLiteral(t.Value)
+		quoteLiteralTo(b, t.Value)
 		if t.Lang != "" {
-			return s + "@" + t.Lang
+			b.WriteByte('@')
+			b.WriteString(t.Lang)
+		} else if t.Datatype != "" {
+			b.WriteString("^^<")
+			b.WriteString(t.Datatype)
+			b.WriteByte('>')
 		}
-		if t.Datatype != "" {
-			return s + "^^<" + t.Datatype + ">"
-		}
-		return s
 	case KindBlank:
-		return "_:" + t.Value
+		b.WriteString("_:")
+		b.WriteString(t.Value)
 	default:
-		return "<invalid>"
+		b.WriteString("<invalid>")
 	}
 }
 
@@ -133,9 +146,9 @@ func (t Term) Compare(u Term) int {
 	return strings.Compare(t.Datatype, u.Datatype)
 }
 
-// quoteLiteral escapes a literal lexical form per N-Triples rules.
-func quoteLiteral(s string) string {
-	var b strings.Builder
+// quoteLiteralTo escapes a literal lexical form per N-Triples rules,
+// appending to b.
+func quoteLiteralTo(b *strings.Builder, s string) {
 	b.Grow(len(s) + 2)
 	b.WriteByte('"')
 	for _, r := range s {
@@ -155,7 +168,6 @@ func quoteLiteral(s string) string {
 		}
 	}
 	b.WriteByte('"')
-	return b.String()
 }
 
 // Triple is a single RDF statement. Subjects are IRIs or blank nodes,

@@ -20,6 +20,25 @@ type Graph interface {
 	CardinalityEstimate(s, p, o rdf.Term) int
 }
 
+// IDGraph is an optional Graph extension for dictionary-encoded stores.
+// When the graph implements it, the evaluator joins over dense uint32
+// term IDs — integer map probes instead of 4-field struct hashing — and
+// resolves IDs back to terms only once the basic graph pattern is fully
+// joined. The zero ID is the wildcard, mirroring the zero-Term convention
+// of Match. The in-memory store implements this; remote and federated
+// graphs fall back to the Term-level path.
+type IDGraph interface {
+	Graph
+	// Lookup returns the dictionary ID of a term, or false if the term
+	// does not occur in the graph.
+	Lookup(t rdf.Term) (uint32, bool)
+	// ResolveID returns the term for an ID (zero Term for unknown IDs).
+	ResolveID(id uint32) rdf.Term
+	// MatchIDs streams matching triples as ID tuples; zero IDs are
+	// wildcards. Iteration stops early if fn returns false.
+	MatchIDs(s, p, o uint32, fn func(s, p, o uint32) bool)
+}
+
 // Binding maps variable names to terms for one solution row.
 type Binding map[string]rdf.Term
 
@@ -184,8 +203,28 @@ func (e *evaluator) leftJoin(rows []Binding, block []Pattern) ([]Binding, error)
 	return out, nil
 }
 
-// joinFrom joins the patterns starting from the given seed rows.
+// joinFrom joins the patterns starting from the given seed rows. Graphs
+// exposing the ID-level API get the dictionary-encoded join; others the
+// Term-level one.
 func (e *evaluator) joinFrom(seed []Binding, group []Pattern) ([]Binding, error) {
+	if len(group) == 0 {
+		return seed, nil
+	}
+	// The ID join pays one extra map per emitted row (the ID row plus the
+	// resolved Term row), which a multi-pattern join amortizes across its
+	// intermediate results. A single pattern has no join to speed up, so
+	// the Term path is both simpler and cheaper there. (The ID join
+	// tracks executed patterns in a uint64 mask, hence the size cap; BGPs
+	// beyond it are unheard of.)
+	if ig, ok := e.g.(IDGraph); ok && len(group) > 1 && len(group) <= 64 {
+		return e.joinFromIDs(ig, seed, group)
+	}
+	return e.joinFromTerms(seed, group)
+}
+
+// joinFromTerms is the Term-level join used for graphs without an ID API
+// (remote endpoints, federations).
+func (e *evaluator) joinFromTerms(seed []Binding, group []Pattern) ([]Binding, error) {
 	remaining := append([]Pattern(nil), group...)
 	rows := seed
 	bound := make(map[string]bool)
@@ -227,9 +266,9 @@ func (e *evaluator) joinFrom(seed []Binding, group []Pattern) ([]Binding, error)
 				if !bind(sv, tr.S) || !bind(pv, tr.P) || !bind(ov, tr.O) {
 					return true
 				}
-				if !cloned {
-					nb = nb.clone()
-				}
+				// A fully bound pattern binds nothing new; the row passes
+				// through unchanged and uncloned. Sharing is safe: every
+				// mutation above is preceded by a clone.
 				next = append(next, nb)
 				return true
 			})
@@ -248,6 +287,166 @@ func (e *evaluator) joinFrom(seed []Binding, group []Pattern) ([]Binding, error)
 	return rows, nil
 }
 
+// idBinding is a solution row over dictionary IDs.
+type idBinding map[string]uint32
+
+// emptyIDRow is the shared zero-variable seed row. It is never mutated:
+// the ID join clones a row before binding into it.
+var emptyIDRow = idBinding{}
+
+func (b idBinding) clone() idBinding {
+	c := make(idBinding, len(b)+1)
+	for k, v := range b {
+		c[k] = v
+	}
+	return c
+}
+
+// idNode is a pattern position prepared for ID-level matching: either a
+// constant already looked up in the dictionary, or a variable name.
+type idNode struct {
+	id uint32 // constant ID; 0 for variables
+	v  string // variable name; "" for constants
+}
+
+// joinFromIDs joins over dictionary IDs: per-pattern constants are looked
+// up once, rows hold uint32 IDs, and terms materialize only after the
+// whole group is joined.
+func (e *evaluator) joinFromIDs(ig IDGraph, seed []Binding, group []Pattern) ([]Binding, error) {
+	rows := make([]idBinding, 0, len(seed))
+	for _, b := range seed {
+		if len(b) == 0 {
+			// The canonical empty seed: share one immutable row — the
+			// join always clones before binding into a row.
+			rows = append(rows, emptyIDRow)
+			continue
+		}
+		ib := make(idBinding, len(b))
+		for v, t := range b {
+			id, ok := ig.Lookup(t)
+			if !ok {
+				// A seed term unknown to this graph (possible when a seed
+				// row came from elsewhere) has no ID; the Term-level join
+				// handles that case correctly.
+				return e.joinFromTerms(seed, group)
+			}
+			ib[v] = id
+		}
+		rows = append(rows, ib)
+	}
+	bound := make(map[string]bool)
+	if len(seed) > 0 {
+		for v := range seed[0] {
+			bound[v] = true
+		}
+	}
+	var used uint64 // bit i set once group[i] has executed
+	var out []Binding
+	for done := 0; done < len(group); done++ {
+		idx := e.pickNextMask(group, used, bound)
+		pat := group[idx]
+		used |= 1 << idx
+		final := done == len(group)-1
+		sN, sOK := idNodeOf(ig, pat.S)
+		pN, pOK := idNodeOf(ig, pat.P)
+		oN, oOK := idNodeOf(ig, pat.O)
+		if !sOK || !pOK || !oOK {
+			// A constant term absent from the dictionary matches nothing.
+			return nil, nil
+		}
+		var next []idBinding
+		for _, row := range rows {
+			s, sv := resolveID(sN, row)
+			p, pv := resolveID(pN, row)
+			o, ov := resolveID(oN, row)
+			var innerErr error
+			ig.MatchIDs(s, p, o, func(ms, mp, mo uint32) bool {
+				if innerErr = e.tick(); innerErr != nil {
+					return false
+				}
+				// Repeated unbound variables must match the same term.
+				if sv != "" && ((sv == pv && ms != mp) || (sv == ov && ms != mo)) {
+					return true
+				}
+				if pv != "" && pv == ov && mp != mo {
+					return true
+				}
+				if final {
+					// Last pattern: materialize the Term row directly,
+					// skipping the intermediate ID row and the separate
+					// resolve pass.
+					nb := make(Binding, len(row)+3)
+					for v, id := range row {
+						nb[v] = ig.ResolveID(id)
+					}
+					if sv != "" {
+						nb[sv] = ig.ResolveID(ms)
+					}
+					if pv != "" {
+						nb[pv] = ig.ResolveID(mp)
+					}
+					if ov != "" {
+						nb[ov] = ig.ResolveID(mo)
+					}
+					out = append(out, nb)
+					return true
+				}
+				nb := row
+				if sv != "" || pv != "" || ov != "" {
+					nb = nb.clone()
+					if sv != "" {
+						nb[sv] = ms
+					}
+					if pv != "" {
+						nb[pv] = mp
+					}
+					if ov != "" {
+						nb[ov] = mo
+					}
+				}
+				next = append(next, nb)
+				return true
+			})
+			if innerErr != nil {
+				return nil, innerErr
+			}
+		}
+		if final {
+			return out, nil
+		}
+		rows = next
+		for _, v := range pat.Vars() {
+			bound[v] = true
+		}
+		if len(rows) == 0 {
+			return nil, nil
+		}
+	}
+	return out, nil
+}
+
+// idNodeOf prepares one pattern position. ok is false when the position
+// is a constant that does not occur in the graph's dictionary.
+func idNodeOf(ig IDGraph, n Node) (idNode, bool) {
+	if n.IsVar() {
+		return idNode{v: n.Var}, true
+	}
+	id, ok := ig.Lookup(n.Term)
+	return idNode{id: id}, ok
+}
+
+// resolveID turns a prepared position into a concrete ID (constant or
+// bound) plus the variable name still to bind.
+func resolveID(n idNode, row idBinding) (uint32, string) {
+	if n.v == "" {
+		return n.id, ""
+	}
+	if id, ok := row[n.v]; ok {
+		return id, ""
+	}
+	return 0, n.v
+}
+
 // resolve turns a pattern node into a concrete term (when constant or
 // already bound) plus the variable name still to bind.
 func resolve(n Node, row Binding) (rdf.Term, string) {
@@ -263,14 +462,23 @@ func resolve(n Node, row Binding) (rdf.Term, string) {
 // pickNext chooses the most selective remaining pattern. Patterns sharing
 // a bound variable are preferred over cartesian products.
 func (e *evaluator) pickNext(remaining []Pattern, bound map[string]bool) int {
-	best, bestCost := 0, int(^uint(0)>>1)
-	for i, pat := range remaining {
+	return e.pickNextMask(remaining, 0, bound)
+}
+
+// pickNextMask is pickNext over a group with a bitmask of already
+// executed patterns, letting the ID join avoid the remaining-slice copy.
+func (e *evaluator) pickNextMask(group []Pattern, used uint64, bound map[string]bool) int {
+	best, bestCost := -1, 0
+	for i, pat := range group {
+		if used&(1<<i) != 0 {
+			continue
+		}
 		cost := e.patternCost(pat, bound)
 		// Penalize patterns with no join variable: cartesian product.
 		if len(bound) > 0 && !sharesVar(pat, bound) {
 			cost = cost*16 + 1<<20
 		}
-		if cost < bestCost {
+		if best < 0 || cost < bestCost {
 			best, bestCost = i, cost
 		}
 	}
@@ -403,12 +611,20 @@ func (e *evaluator) projVars() []string {
 	return vars
 }
 
+// rowKey builds the composite dedup/grouping key for a row in a single
+// preallocated builder pass — no per-term String allocations. The bytes
+// are identical to joining the terms' N-Triples forms with NUL, keeping
+// the deterministic tie-break order stable.
 func rowKey(row Binding, vars []string) string {
-	parts := make([]string, len(vars))
+	var b strings.Builder
+	b.Grow(24 * len(vars))
 	for i, v := range vars {
-		parts[i] = row[v].String()
+		if i > 0 {
+			b.WriteByte(0)
+		}
+		row[v].StringTo(&b)
 	}
-	return strings.Join(parts, "\x00")
+	return b.String()
 }
 
 // aggregate computes grouped aggregates. With no GROUP BY all rows form

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"testing"
+	"time"
 
 	"sapphire/internal/rdf"
 	"sapphire/internal/store"
@@ -351,5 +352,78 @@ func TestResultsSorted(t *testing.T) {
 		if sorted[i] < sorted[i-1] {
 			t.Fatal("Sorted() not sorted")
 		}
+	}
+}
+
+// TestRepeatedVariableInPattern pins the repeated-unbound-variable rule
+// (?x ?p ?x must bind both occurrences to the same term) on the ID join
+// path and the Term fallback alike.
+func TestRepeatedVariableInPattern(t *testing.T) {
+	s := store.New()
+	iri := func(x string) rdf.Term { return rdf.NewIRI("http://x/" + x) }
+	s.MustAdd(rdf.NewTriple(iri("narcissus"), iri("admires"), iri("narcissus")))
+	s.MustAdd(rdf.NewTriple(iri("narcissus"), iri("admires"), iri("echo")))
+	s.MustAdd(rdf.NewTriple(iri("echo"), iri("admires"), iri("narcissus")))
+	s.MustAdd(rdf.NewTriple(iri("narcissus"), iri("kind"), iri("Nymph")))
+	s.MustAdd(rdf.NewTriple(iri("echo"), iri("kind"), iri("Nymph")))
+
+	// Two patterns so the graph takes the ID fast path.
+	res := eval(t, s, `SELECT ?x WHERE { ?x <http://x/admires> ?x . ?x <http://x/kind> <http://x/Nymph> . }`)
+	got := res.Sorted()
+	if len(got) != 1 || got[0] != "<http://x/narcissus>" {
+		t.Fatalf("self-join rows = %v, want only narcissus", got)
+	}
+
+	// Repeated variable across positions with no self-loop match.
+	res = eval(t, s, `SELECT ?x WHERE { ?x <http://x/admires> ?x . ?x <http://x/kind> <http://x/Naiad> . }`)
+	if len(res.Rows) != 0 {
+		t.Fatalf("expected no rows, got %v", res.Sorted())
+	}
+}
+
+// TestEvalConcurrentWithAdd guards against the evaluator re-locking the
+// store from inside a Match/MatchIDs callback: with a writer queued on
+// the store mutex, a nested RLock deadlocks (sync.RWMutex blocks new
+// readers once a writer waits). The watchdog fails fast instead of
+// hanging the suite.
+func TestEvalConcurrentWithAdd(t *testing.T) {
+	s := store.New()
+	iri := func(x string) rdf.Term { return rdf.NewIRI("http://x/" + x) }
+	for i := 0; i < 500; i++ {
+		subj := iri(fmt.Sprintf("s%d", i))
+		s.MustAdd(rdf.NewTriple(subj, iri("p"), iri("hub")))
+		s.MustAdd(rdf.NewTriple(subj, iri("q"), iri(fmt.Sprintf("v%d", i))))
+	}
+	q := MustParse(`SELECT ?s ?o WHERE { ?s <http://x/p> <http://x/hub> . ?s <http://x/q> ?o . }`)
+	stop := make(chan struct{})
+	go func() {
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s.MustAdd(rdf.NewTriple(iri(fmt.Sprintf("w%d", i)), iri("p"), iri("hub")))
+		}
+	}()
+	done := make(chan error, 1)
+	go func() {
+		for i := 0; i < 50; i++ {
+			if _, err := Eval(s, q, Options{}); err != nil {
+				done <- err
+				return
+			}
+		}
+		done <- nil
+	}()
+	select {
+	case err := <-done:
+		close(stop)
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(30 * time.Second):
+		close(stop)
+		t.Fatal("evaluation deadlocked against concurrent Add")
 	}
 }

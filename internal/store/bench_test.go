@@ -2,6 +2,7 @@ package store
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"sapphire/internal/rdf"
@@ -38,6 +39,72 @@ func BenchmarkMatchBySubject(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		subj := rdf.NewIRI(fmt.Sprintf("http://x/s%d", i%5000))
 		s.MatchSlice(subj, rdf.Term{}, rdf.Term{})
+	}
+}
+
+// BenchmarkMatchWildcardPredicate measures the shape that used to re-sort
+// map keys on every call: predicate wildcard with a bound object, i.e.
+// (?s ?p <o>), walking the OSP index across all subjects pointing at one
+// hub object. With incrementally sorted key slices this is a flat sweep.
+func BenchmarkMatchWildcardPredicate(b *testing.B) {
+	s := New()
+	hub := rdf.NewIRI("http://x/hub")
+	p := rdf.NewIRI("http://x/p")
+	for i := 0; i < 5000; i++ {
+		s.MustAdd(rdf.NewTriple(rdf.NewIRI(fmt.Sprintf("http://x/s%d", i)), p, hub))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		s.Match(rdf.Term{}, rdf.Term{}, hub, func(rdf.Triple) bool { n++; return true })
+		if n != 5000 {
+			b.Fatalf("matched %d", n)
+		}
+	}
+}
+
+// BenchmarkMatchIDsWildcardPredicate is the same sweep staying in ID
+// space, skipping triple materialization entirely.
+func BenchmarkMatchIDsWildcardPredicate(b *testing.B) {
+	s := New()
+	hub := rdf.NewIRI("http://x/hub")
+	p := rdf.NewIRI("http://x/p")
+	for i := 0; i < 5000; i++ {
+		s.MustAdd(rdf.NewTriple(rdf.NewIRI(fmt.Sprintf("http://x/s%d", i)), p, hub))
+	}
+	hubID, ok := s.Lookup(hub)
+	if !ok {
+		b.Fatal("hub not interned")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		s.MatchIDs(Wildcard, Wildcard, hubID, func(ID, ID, ID) bool { n++; return true })
+		if n != 5000 {
+			b.Fatalf("matched %d", n)
+		}
+	}
+}
+
+// BenchmarkStoreMemoryFootprint reports the steady-state heap cost per
+// stored triple, tracking the dictionary encoding's memory win.
+func BenchmarkStoreMemoryFootprint(b *testing.B) {
+	const n = 50000
+	var before, after runtime.MemStats
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runtime.GC()
+		runtime.ReadMemStats(&before)
+		s := benchStore(n / 2) // two triples per subject
+		runtime.GC()
+		runtime.ReadMemStats(&after)
+		if s.Len() != n {
+			b.Fatalf("store has %d triples", s.Len())
+		}
+		b.ReportMetric(float64(after.HeapAlloc-before.HeapAlloc)/float64(n), "bytes/triple")
+		runtime.KeepAlive(s)
 	}
 }
 

@@ -1,0 +1,144 @@
+package store
+
+import (
+	"sort"
+	"sync/atomic"
+
+	"sapphire/internal/rdf"
+)
+
+// ID is a dense dictionary identifier for an interned rdf.Term. IDs are
+// assigned in first-seen order starting at 1; the zero ID is reserved as
+// the Wildcard sentinel so that ID-level pattern matching mirrors the
+// zero-Term wildcard convention of the Term-level API.
+//
+// ID is an alias (not a defined type) so callers outside this package can
+// use plain uint32 values without conversions — the sparql evaluator's
+// IDGraph fast path relies on that.
+type ID = uint32
+
+// Wildcard is the ID-level wildcard: MatchIDs and CountIDs treat it the
+// way Match treats a zero rdf.Term.
+const Wildcard ID = 0
+
+// dict is the two-way term dictionary: a term→ID hash for interning and
+// an ID→term slice for O(1) resolution. The Store's mutex guards the
+// term→ID map and all mutation; the ID→term direction is additionally
+// published through an atomic snapshot so resolution never needs a lock
+// (see termSnapshot), which lets evaluator callbacks running inside a
+// MatchIDs read-lock resolve IDs without re-acquiring the mutex.
+type dict struct {
+	ids   map[rdf.Term]ID
+	terms []rdf.Term // terms[0] is the zero Term, backing Wildcard
+
+	// snap is the last published terms slice header. The slice is
+	// append-only: an element is fully written before the header that
+	// makes it visible is stored, and a published header's elements are
+	// never rewritten, so readers of any snapshot see immutable data.
+	snap atomic.Pointer[[]rdf.Term]
+}
+
+func newDict() *dict {
+	d := &dict{
+		ids:   make(map[rdf.Term]ID),
+		terms: make([]rdf.Term, 1),
+	}
+	d.publish()
+	return d
+}
+
+func (d *dict) publish() {
+	terms := d.terms
+	d.snap.Store(&terms)
+}
+
+// intern returns the ID for t, assigning the next dense ID on first
+// sight. Caller must hold the store write lock.
+func (d *dict) intern(t rdf.Term) ID {
+	if id, ok := d.ids[t]; ok {
+		return id
+	}
+	id := ID(len(d.terms))
+	d.ids[t] = id
+	d.terms = append(d.terms, t)
+	d.publish()
+	return id
+}
+
+// lookup returns the ID for t without interning.
+func (d *dict) lookup(t rdf.Term) (ID, bool) {
+	id, ok := d.ids[t]
+	return id, ok
+}
+
+// term resolves an ID back to its term. Unknown IDs (including Wildcard)
+// resolve to the zero Term. Caller must hold the store lock; lock-free
+// callers use termSnapshot.
+func (d *dict) term(id ID) rdf.Term {
+	if int(id) < len(d.terms) {
+		return d.terms[id]
+	}
+	return rdf.Term{}
+}
+
+// termSnapshot resolves an ID against the last published snapshot
+// without locking. Safe to call concurrently with interning and from
+// within Match/MatchIDs callbacks.
+func (d *dict) termSnapshot(id ID) rdf.Term {
+	terms := *d.snap.Load()
+	if int(id) < len(terms) {
+		return terms[id]
+	}
+	return rdf.Term{}
+}
+
+// index is one permutation of the triple indexes (SPO, POS, or OSP): a
+// level-one key → entry map plus the level-one keys maintained in term
+// order so wildcard iteration never sorts.
+type index struct {
+	m    map[ID]*entry
+	keys []ID // level-one keys, term-sorted
+}
+
+// entry is one level-one slot of an index: level-two key → level-three ID
+// list, the level-two keys in term order, and the total number of triples
+// underneath (giving O(1) per-key cardinalities).
+type entry struct {
+	m     map[ID][]ID
+	keys  []ID // level-two keys, term-sorted
+	total int
+}
+
+func newIndex() index {
+	return index{m: make(map[ID]*entry)}
+}
+
+// add records the (a, b, c) path in the index. The caller guarantees the
+// triple is new (the store dedups via the present set), so c is appended
+// unconditionally. Key slices are maintained sorted by term order with a
+// binary-search insertion: Add is the cold path, Match the hot one.
+func (x *index) add(d *dict, a, b, c ID) {
+	e := x.m[a]
+	if e == nil {
+		e = &entry{m: make(map[ID][]ID)}
+		x.m[a] = e
+		x.keys = insertSorted(d, x.keys, a)
+	}
+	if _, ok := e.m[b]; !ok {
+		e.keys = insertSorted(d, e.keys, b)
+	}
+	e.m[b] = append(e.m[b], c)
+	e.total++
+}
+
+// insertSorted inserts id into keys keeping term order.
+func insertSorted(d *dict, keys []ID, id ID) []ID {
+	t := d.terms[id]
+	i := sort.Search(len(keys), func(i int) bool {
+		return d.terms[keys[i]].Compare(t) >= 0
+	})
+	keys = append(keys, 0)
+	copy(keys[i+1:], keys[i:])
+	keys[i] = id
+	return keys
+}

@@ -24,7 +24,12 @@ type ClassHierarchy struct {
 func (s *Store) HasHierarchy() bool {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	return len(s.pos[rdf.NewIRI(rdf.RDFSSubClassOf)]) > 0
+	sub, ok := s.dict.lookup(rdf.NewIRI(rdf.RDFSSubClassOf))
+	if !ok {
+		return false
+	}
+	e := s.pos.m[sub]
+	return e != nil && e.total > 0
 }
 
 // Hierarchy extracts the class hierarchy from rdfs:subClassOf triples

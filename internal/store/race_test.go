@@ -1,0 +1,84 @@
+package store
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"sapphire/internal/rdf"
+)
+
+// TestConcurrentAddMatchSubjects hammers Add, Match, MatchIDs, Count, and
+// Subjects from parallel goroutines. Run with -race; it guards the
+// incremental sorted-key invariant (readers walking a key slice while a
+// writer insertion-sorts into a reallocated one must never observe a torn
+// state) and the dictionary's append-under-lock discipline.
+func TestConcurrentAddMatchSubjects(t *testing.T) {
+	s := buildSample(t)
+	const (
+		writers   = 4
+		readers   = 4
+		perWriter = 300
+	)
+	knows := iri("knows")
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				s.MustAdd(tri(
+					iri(fmt.Sprintf("w%d-%d", w, i)),
+					knows,
+					iri(fmt.Sprintf("w%d-%d", (w+1)%writers, i)),
+				))
+			}
+		}(w)
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				// Term-level wildcard match walks the sorted key slices.
+				prev := rdf.Term{}
+				s.Match(rdf.Term{}, knows, rdf.Term{}, func(tr rdf.Triple) bool {
+					if !prev.IsZero() && prev.Compare(tr.O) > 0 {
+						t.Errorf("POS iteration out of order: %v after %v", tr.O, prev)
+						return false
+					}
+					prev = tr.O
+					return true
+				})
+				// ID-level match and counts.
+				if id, ok := s.Lookup(knows); ok {
+					n := 0
+					s.MatchIDs(Wildcard, id, Wildcard, func(a, b, c ID) bool {
+						n++
+						return true
+					})
+					// Writers may land between the two calls; the store
+					// only grows, so the later count can never be lower.
+					if c := s.CountIDs(Wildcard, id, Wildcard); c < n {
+						t.Errorf("CountIDs = %d below MatchIDs visit count %d", c, n)
+					}
+				}
+				// Sorted snapshot of level-one keys.
+				subs := s.Subjects()
+				for j := 1; j < len(subs); j++ {
+					if subs[j-1].Compare(subs[j]) >= 0 {
+						t.Errorf("Subjects not sorted at %d", j)
+						break
+					}
+				}
+				s.Count(rdf.Term{}, rdf.Term{}, rdf.Term{})
+				s.CardinalityEstimate(rdf.Term{}, knows, rdf.Term{})
+			}
+		}(r)
+	}
+	wg.Wait()
+	want := 7 + writers*perWriter
+	if got := s.Len(); got != want {
+		t.Fatalf("Len = %d, want %d", got, want)
+	}
+}

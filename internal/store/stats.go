@@ -15,16 +15,13 @@ type PredicateFrequency struct {
 
 // PredicateFrequencies returns all predicates ordered by descending triple
 // count (ties broken by term order), mirroring initialization query Q1.
+// Per-predicate totals are maintained on Add, so this is O(#predicates).
 func (s *Store) PredicateFrequencies() []PredicateFrequency {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	out := make([]PredicateFrequency, 0, len(s.pos))
-	for p, byO := range s.pos {
-		n := 0
-		for _, subs := range byO {
-			n += len(subs)
-		}
-		out = append(out, PredicateFrequency{Predicate: p, Count: n})
+	out := make([]PredicateFrequency, 0, len(s.pos.m))
+	for p, e := range s.pos.m {
+		out = append(out, PredicateFrequency{Predicate: s.dict.term(p), Count: e.total})
 	}
 	sortFreq(out)
 	return out
@@ -36,16 +33,16 @@ func (s *Store) PredicateFrequencies() []PredicateFrequency {
 func (s *Store) LiteralPredicateFrequencies() []PredicateFrequency {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	out := make([]PredicateFrequency, 0, len(s.pos))
-	for p, byO := range s.pos {
+	out := make([]PredicateFrequency, 0, len(s.pos.m))
+	for p, e := range s.pos.m {
 		n := 0
-		for o, subs := range byO {
-			if o.IsLiteral() {
+		for o, subs := range e.m {
+			if s.dict.term(o).IsLiteral() {
 				n += len(subs)
 			}
 		}
 		if n > 0 {
-			out = append(out, PredicateFrequency{Predicate: p, Count: n})
+			out = append(out, PredicateFrequency{Predicate: s.dict.term(p), Count: n})
 		}
 	}
 	sortFreq(out)
@@ -58,10 +55,17 @@ func (s *Store) LiteralPredicateFrequencies() []PredicateFrequency {
 func (s *Store) TypeFrequencies() []PredicateFrequency {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	byO := s.pos[rdf.NewIRI(rdf.RDFType)]
-	out := make([]PredicateFrequency, 0, len(byO))
-	for o, subs := range byO {
-		out = append(out, PredicateFrequency{Predicate: o, Count: len(subs)})
+	typ, ok := s.dict.lookup(rdf.NewIRI(rdf.RDFType))
+	if !ok {
+		return nil
+	}
+	e := s.pos.m[typ]
+	if e == nil {
+		return nil
+	}
+	out := make([]PredicateFrequency, 0, len(e.m))
+	for o, subs := range e.m {
+		out = append(out, PredicateFrequency{Predicate: s.dict.term(o), Count: len(subs)})
 	}
 	sortFreq(out)
 	return out
@@ -83,8 +87,8 @@ func (s *Store) DistinctLiterals() int {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	n := 0
-	for o := range s.osp {
-		if o.IsLiteral() {
+	for _, o := range s.osp.keys {
+		if s.dict.term(o).IsLiteral() {
 			n++
 		}
 	}
@@ -93,14 +97,18 @@ func (s *Store) DistinctLiterals() int {
 
 // IncomingEdgeCount returns the number of triples whose object is the
 // given term — the inner quantity of Definition 1 (literal significance).
+// The per-object total is maintained on Add, so this is O(1).
 func (s *Store) IncomingEdgeCount(o rdf.Term) int {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	n := 0
-	for _, ps := range s.osp[o] {
-		n += len(ps)
+	oi, ok := s.dict.lookup(o)
+	if !ok {
+		return 0
 	}
-	return n
+	if e := s.osp.m[oi]; e != nil {
+		return e.total
+	}
+	return 0
 }
 
 // LiteralSignificance computes S(l) from Definition 1 for every literal:
@@ -112,22 +120,23 @@ func (s *Store) LiteralSignificance() map[rdf.Term]int {
 	defer s.mu.RUnlock()
 	sig := make(map[rdf.Term]int)
 	// For each entity o with incoming edges, add its in-degree to every
-	// literal l attached to o.
-	for o, bySubj := range s.osp {
-		if o.IsLiteral() {
+	// literal l attached to o. The SPO and OSP indexes share one
+	// dictionary, so the object ID doubles as the subject probe.
+	for o, in := range s.osp.m {
+		if s.dict.term(o).IsLiteral() {
 			continue
 		}
-		indeg := 0
-		for _, ps := range bySubj {
-			indeg += len(ps)
-		}
-		if indeg == 0 {
+		if in.total == 0 {
 			continue
 		}
-		for _, objs := range s.spo[o] {
+		out := s.spo.m[o]
+		if out == nil {
+			continue
+		}
+		for _, objs := range out.m {
 			for _, l := range objs {
-				if l.IsLiteral() {
-					sig[l] += indeg
+				if lt := s.dict.term(l); lt.IsLiteral() {
+					sig[lt] += in.total
 				}
 			}
 		}

@@ -4,11 +4,41 @@
 // a full scan, and exposes the dataset statistics (predicate frequencies,
 // literal counts, incoming-edge counts) that the paper's initialization
 // queries (Appendix A, Q1–Q10) aggregate over.
+//
+// # Dictionary encoding
+//
+// Terms are interned into a two-way dictionary (see dict.go): each
+// distinct rdf.Term maps to a dense uint32 ID, and all three indexes are
+// nested map[uint32]map[uint32][]uint32 over IDs rather than maps keyed by
+// the 4-field Term struct. The dedup set is map[[3]uint32]struct{}. This
+// shrinks the per-triple footprint, turns every index probe into an
+// integer hash, and makes triple materialization a slice lookup.
+//
+// Deterministic wildcard iteration used to re-sort the key set of a map on
+// every Match/Count call; the ID indexes instead maintain their key slices
+// incrementally sorted (insertion-sorted on Add, the cold path), so a
+// wildcard walk is an amortized O(1)-per-result sweep with no per-call
+// sort.
+//
+// # ID-level API
+//
+// Hot consumers (the SPARQL evaluator's join loop, the endpoint cost
+// model) can stay in ID space and skip Term hashing and materialization
+// entirely:
+//
+//	id, ok := st.Lookup(term)          // term → ID, no interning
+//	term := st.ResolveID(id)           // ID → term, O(1)
+//	st.MatchIDs(s, p, o, fn)           // pattern match over IDs
+//	st.CountIDs(s, p, o)               // exact count, O(1) for all shapes
+//	st.CardinalityEstimateIDs(s, p, o) // same, for cost models
+//
+// store.Wildcard (ID 0) is the ID-level wildcard, mirroring the zero-Term
+// convention of Match. Bindings resolve back to terms only at projection
+// time.
 package store
 
 import (
 	"fmt"
-	"sort"
 	"sync"
 
 	"sapphire/internal/rdf"
@@ -19,14 +49,18 @@ import (
 type Store struct {
 	mu sync.RWMutex
 
-	// Index maps use the three classic permutations. The innermost slice
-	// preserves insertion order, which keeps iteration deterministic.
-	spo map[rdf.Term]map[rdf.Term][]rdf.Term
-	pos map[rdf.Term]map[rdf.Term][]rdf.Term
-	osp map[rdf.Term]map[rdf.Term][]rdf.Term
+	// dict interns terms to dense IDs; all indexes below are over IDs.
+	dict *dict
 
-	// present deduplicates triples.
-	present map[rdf.Triple]struct{}
+	// Index permutations. The innermost slice preserves insertion order,
+	// and each level's key slice is kept term-sorted incrementally, which
+	// keeps iteration deterministic without per-call sorting.
+	spo index
+	pos index
+	osp index
+
+	// present deduplicates triples as packed ID triples.
+	present map[[3]ID]struct{}
 
 	size int
 }
@@ -34,10 +68,11 @@ type Store struct {
 // New returns an empty store.
 func New() *Store {
 	return &Store{
-		spo:     make(map[rdf.Term]map[rdf.Term][]rdf.Term),
-		pos:     make(map[rdf.Term]map[rdf.Term][]rdf.Term),
-		osp:     make(map[rdf.Term]map[rdf.Term][]rdf.Term),
-		present: make(map[rdf.Triple]struct{}),
+		dict:    newDict(),
+		spo:     newIndex(),
+		pos:     newIndex(),
+		osp:     newIndex(),
+		present: make(map[[3]ID]struct{}),
 	}
 }
 
@@ -49,13 +84,17 @@ func (s *Store) Add(tr rdf.Triple) (bool, error) {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if _, dup := s.present[tr]; dup {
+	si := s.dict.intern(tr.S)
+	pi := s.dict.intern(tr.P)
+	oi := s.dict.intern(tr.O)
+	key := [3]ID{si, pi, oi}
+	if _, dup := s.present[key]; dup {
 		return false, nil
 	}
-	s.present[tr] = struct{}{}
-	addIdx(s.spo, tr.S, tr.P, tr.O)
-	addIdx(s.pos, tr.P, tr.O, tr.S)
-	addIdx(s.osp, tr.O, tr.S, tr.P)
+	s.present[key] = struct{}{}
+	s.spo.add(s.dict, si, pi, oi)
+	s.pos.add(s.dict, pi, oi, si)
+	s.osp.add(s.dict, oi, si, pi)
 	s.size++
 	return true, nil
 }
@@ -78,15 +117,6 @@ func (s *Store) MustAdd(tr rdf.Triple) {
 	}
 }
 
-func addIdx(idx map[rdf.Term]map[rdf.Term][]rdf.Term, a, b, c rdf.Term) {
-	m, ok := idx[a]
-	if !ok {
-		m = make(map[rdf.Term][]rdf.Term)
-		idx[a] = m
-	}
-	m[b] = append(m[b], c)
-}
-
 // Len returns the number of distinct triples.
 func (s *Store) Len() int {
 	s.mu.RLock()
@@ -98,8 +128,37 @@ func (s *Store) Len() int {
 func (s *Store) Contains(tr rdf.Triple) bool {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	_, ok := s.present[tr]
+	si, ok := s.dict.lookup(tr.S)
+	if !ok {
+		return false
+	}
+	pi, ok := s.dict.lookup(tr.P)
+	if !ok {
+		return false
+	}
+	oi, ok := s.dict.lookup(tr.O)
+	if !ok {
+		return false
+	}
+	_, ok = s.present[[3]ID{si, pi, oi}]
 	return ok
+}
+
+// Lookup returns the dictionary ID for a term without interning it. The
+// second result is false when the term does not occur in the store.
+func (s *Store) Lookup(t rdf.Term) (ID, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.dict.lookup(t)
+}
+
+// ResolveID returns the term for a dictionary ID. Unknown IDs (including
+// Wildcard) resolve to the zero Term. It is lock-free (the ID→term slice
+// is published through an atomic snapshot), so it is safe to call from
+// inside Match/MatchIDs callbacks — a nested mutex acquisition there
+// would deadlock against a queued writer.
+func (s *Store) ResolveID(id ID) rdf.Term {
+	return s.dict.termSnapshot(id)
 }
 
 // Match streams every triple matching the pattern to fn. A zero Term in
@@ -108,76 +167,126 @@ func (s *Store) Contains(tr rdf.Triple) bool {
 func (s *Store) Match(sub, pred, obj rdf.Term, fn func(rdf.Triple) bool) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	s.matchLocked(sub, pred, obj, fn)
+	si, pi, oi, ok := s.patternIDs(sub, pred, obj)
+	if !ok {
+		return
+	}
+	d := s.dict
+	s.matchIDsLocked(si, pi, oi, func(a, b, c ID) bool {
+		return fn(rdf.Triple{S: d.term(a), P: d.term(b), O: d.term(c)})
+	})
 }
 
-func (s *Store) matchLocked(sub, pred, obj rdf.Term, fn func(rdf.Triple) bool) {
+// MatchIDs streams every matching triple as a dictionary-ID tuple. A
+// Wildcard (zero) ID in any position matches every term. Iteration stops
+// early if fn returns false. The callback must not mutate the store.
+func (s *Store) MatchIDs(sub, pred, obj ID, fn func(s, p, o ID) bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	s.matchIDsLocked(sub, pred, obj, fn)
+}
+
+// patternIDs maps a Term pattern to an ID pattern. ok is false when a
+// non-wildcard term is absent from the dictionary, i.e. nothing matches.
+func (s *Store) patternIDs(sub, pred, obj rdf.Term) (si, pi, oi ID, ok bool) {
+	if !sub.IsZero() {
+		if si, ok = s.dict.lookup(sub); !ok {
+			return 0, 0, 0, false
+		}
+	}
+	if !pred.IsZero() {
+		if pi, ok = s.dict.lookup(pred); !ok {
+			return 0, 0, 0, false
+		}
+	}
+	if !obj.IsZero() {
+		if oi, ok = s.dict.lookup(obj); !ok {
+			return 0, 0, 0, false
+		}
+	}
+	return si, pi, oi, true
+}
+
+// matchIDsLocked walks the narrowest index for the pattern shape. Wildcard
+// positions iterate the incrementally maintained term-sorted key slices,
+// so no per-call sorting happens anywhere on this path.
+func (s *Store) matchIDsLocked(sub, pred, obj ID, fn func(a, b, c ID) bool) {
 	switch {
-	case !sub.IsZero():
-		byP, ok := s.spo[sub]
-		if !ok {
+	case sub != Wildcard && pred != Wildcard && obj != Wildcard:
+		if _, ok := s.present[[3]ID{sub, pred, obj}]; ok {
+			fn(sub, pred, obj)
+		}
+	case sub != Wildcard && obj != Wildcard:
+		// (S ? O): probe OSP for exactly the predicates linking the pair
+		// instead of filtering the subject's whole out-edge set.
+		e := s.osp.m[obj]
+		if e == nil {
 			return
 		}
-		if !pred.IsZero() {
-			for _, o := range byP[pred] {
-				if !obj.IsZero() && o != obj {
-					continue
-				}
-				if !fn(rdf.Triple{S: sub, P: pred, O: o}) {
+		for _, p := range e.m[sub] {
+			if !fn(sub, p, obj) {
+				return
+			}
+		}
+	case sub != Wildcard:
+		e := s.spo.m[sub]
+		if e == nil {
+			return
+		}
+		if pred != Wildcard {
+			for _, o := range e.m[pred] {
+				if !fn(sub, pred, o) {
 					return
 				}
 			}
 			return
 		}
-		for _, p := range sortedKeys(byP) {
-			for _, o := range byP[p] {
-				if !obj.IsZero() && o != obj {
-					continue
-				}
-				if !fn(rdf.Triple{S: sub, P: p, O: o}) {
+		for _, p := range e.keys {
+			for _, o := range e.m[p] {
+				if !fn(sub, p, o) {
 					return
 				}
 			}
 		}
-	case !pred.IsZero():
-		byO, ok := s.pos[pred]
-		if !ok {
+	case pred != Wildcard:
+		e := s.pos.m[pred]
+		if e == nil {
 			return
 		}
-		if !obj.IsZero() {
-			for _, sb := range byO[obj] {
-				if !fn(rdf.Triple{S: sb, P: pred, O: obj}) {
+		if obj != Wildcard {
+			for _, sb := range e.m[obj] {
+				if !fn(sb, pred, obj) {
 					return
 				}
 			}
 			return
 		}
-		for _, o := range sortedKeys(byO) {
-			for _, sb := range byO[o] {
-				if !fn(rdf.Triple{S: sb, P: pred, O: o}) {
+		for _, o := range e.keys {
+			for _, sb := range e.m[o] {
+				if !fn(sb, pred, o) {
 					return
 				}
 			}
 		}
-	case !obj.IsZero():
-		byS, ok := s.osp[obj]
-		if !ok {
+	case obj != Wildcard:
+		e := s.osp.m[obj]
+		if e == nil {
 			return
 		}
-		for _, sb := range sortedKeys(byS) {
-			for _, p := range byS[sb] {
-				if !fn(rdf.Triple{S: sb, P: p, O: obj}) {
+		for _, sb := range e.keys {
+			for _, p := range e.m[sb] {
+				if !fn(sb, p, obj) {
 					return
 				}
 			}
 		}
 	default:
 		// Full scan: iterate SPO deterministically.
-		for _, sb := range sortedKeys(s.spo) {
-			byP := s.spo[sb]
-			for _, p := range sortedKeys(byP) {
-				for _, o := range byP[p] {
-					if !fn(rdf.Triple{S: sb, P: p, O: o}) {
+		for _, sb := range s.spo.keys {
+			e := s.spo.m[sb]
+			for _, p := range e.keys {
+				for _, o := range e.m[p] {
+					if !fn(sb, p, o) {
 						return
 					}
 				}
@@ -197,46 +306,78 @@ func (s *Store) MatchSlice(sub, pred, obj rdf.Term) []rdf.Triple {
 }
 
 // Count returns the number of triples matching the pattern without
-// materializing them.
+// materializing them. Every pattern shape has full index coverage, so the
+// answer is a constant number of map probes — no iteration.
 func (s *Store) Count(sub, pred, obj rdf.Term) int {
-	n := 0
-	s.Match(sub, pred, obj, func(rdf.Triple) bool {
-		n++
-		return true
-	})
-	return n
-}
-
-// CardinalityEstimate returns an upper-bound estimate of the number of
-// results for a pattern, used by the endpoint cost model and by the
-// federated source selection. It is exact for fully indexed lookups and
-// cheap for the rest.
-func (s *Store) CardinalityEstimate(sub, pred, obj rdf.Term) int {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
+	si, pi, oi, ok := s.patternIDs(sub, pred, obj)
+	if !ok {
+		return 0
+	}
+	return s.countLocked(si, pi, oi)
+}
+
+// CountIDs is Count over dictionary IDs (Wildcard matches every term).
+func (s *Store) CountIDs(sub, pred, obj ID) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.countLocked(sub, pred, obj)
+}
+
+// CardinalityEstimate returns the number of results for a pattern, used
+// by the endpoint cost model and by the federated source selection. With
+// the per-entry totals maintained on Add it is exact for every shape and
+// O(1); it shares the implementation with Count.
+func (s *Store) CardinalityEstimate(sub, pred, obj rdf.Term) int {
+	return s.Count(sub, pred, obj)
+}
+
+// CardinalityEstimateIDs is CardinalityEstimate over dictionary IDs.
+func (s *Store) CardinalityEstimateIDs(sub, pred, obj ID) int {
+	return s.CountIDs(sub, pred, obj)
+}
+
+// countLocked answers every pattern shape from index metadata: the
+// present set for fully bound patterns, innermost slice lengths for
+// two-bound patterns, and per-entry totals for one-bound patterns.
+func (s *Store) countLocked(sub, pred, obj ID) int {
 	switch {
-	case !sub.IsZero() && !pred.IsZero():
-		return len(s.spo[sub][pred])
-	case !sub.IsZero():
-		n := 0
-		for _, objs := range s.spo[sub] {
-			n += len(objs)
+	case sub != Wildcard && pred != Wildcard && obj != Wildcard:
+		if _, ok := s.present[[3]ID{sub, pred, obj}]; ok {
+			return 1
 		}
-		return n
-	case !pred.IsZero() && !obj.IsZero():
-		return len(s.pos[pred][obj])
-	case !pred.IsZero():
-		n := 0
-		for _, subs := range s.pos[pred] {
-			n += len(subs)
+		return 0
+	case sub != Wildcard && pred != Wildcard:
+		if e := s.spo.m[sub]; e != nil {
+			return len(e.m[pred])
 		}
-		return n
-	case !obj.IsZero():
-		n := 0
-		for _, ps := range s.osp[obj] {
-			n += len(ps)
+		return 0
+	case sub != Wildcard && obj != Wildcard:
+		if e := s.osp.m[obj]; e != nil {
+			return len(e.m[sub])
 		}
-		return n
+		return 0
+	case sub != Wildcard:
+		if e := s.spo.m[sub]; e != nil {
+			return e.total
+		}
+		return 0
+	case pred != Wildcard && obj != Wildcard:
+		if e := s.pos.m[pred]; e != nil {
+			return len(e.m[obj])
+		}
+		return 0
+	case pred != Wildcard:
+		if e := s.pos.m[pred]; e != nil {
+			return e.total
+		}
+		return 0
+	case obj != Wildcard:
+		if e := s.osp.m[obj]; e != nil {
+			return e.total
+		}
+		return 0
 	default:
 		return s.size
 	}
@@ -246,22 +387,21 @@ func (s *Store) CardinalityEstimate(sub, pred, obj rdf.Term) int {
 func (s *Store) Subjects() []rdf.Term {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	return sortedKeys(s.spo)
+	return s.resolveAll(s.spo.keys)
 }
 
 // Predicates returns the distinct predicates, sorted.
 func (s *Store) Predicates() []rdf.Term {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	return sortedKeys(s.pos)
+	return s.resolveAll(s.pos.keys)
 }
 
-// sortedKeys returns map keys in Term order for deterministic iteration.
-func sortedKeys[V any](m map[rdf.Term]V) []rdf.Term {
-	keys := make([]rdf.Term, 0, len(m))
-	for k := range m {
-		keys = append(keys, k)
+// resolveAll maps a (term-sorted) ID slice to its terms.
+func (s *Store) resolveAll(ids []ID) []rdf.Term {
+	out := make([]rdf.Term, len(ids))
+	for i, id := range ids {
+		out[i] = s.dict.term(id)
 	}
-	sort.Slice(keys, func(i, j int) bool { return keys[i].Compare(keys[j]) < 0 })
-	return keys
+	return out
 }
