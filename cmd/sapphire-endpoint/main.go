@@ -24,6 +24,8 @@ func main() {
 		seed    = flag.Int64("seed", 1, "dataset generator seed")
 		maxRows = flag.Int("max-rows", 0, "intermediate-row budget per query (0 = unlimited); models public endpoint timeouts")
 		latency = flag.Duration("latency", 0, "simulated per-query latency, e.g. 20ms")
+		reject  = flag.Int("reject-above", endpoint.DefaultRejectEstimate,
+			"reject queries whose exact pattern cardinality exceeds this (0 = admit everything)")
 	)
 	flag.Parse()
 
@@ -39,6 +41,7 @@ func main() {
 	ep := endpoint.NewLocal("synthetic-dbpedia", d.Store, endpoint.Limits{
 		MaxIntermediateRows: *maxRows,
 		Latency:             *latency,
+		RejectEstimateAbove: *reject,
 	})
 	mux := http.NewServeMux()
 	mux.Handle("/sparql", endpoint.Handler(ep))

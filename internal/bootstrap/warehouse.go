@@ -2,11 +2,38 @@ package bootstrap
 
 import (
 	"context"
+	"io"
 	"time"
 
 	"sapphire/internal/endpoint"
 	"sapphire/internal/rdf"
+	"sapphire/internal/store"
 )
+
+// NewWarehouse builds an unlimited local endpoint over the triples — the
+// warehousing architecture of Appendix A, where the dataset lives with
+// Sapphire instead of behind a public endpoint. Loading goes through the
+// store's staged bulk-load path: terms are interned and triples buffered
+// as ID tuples, then the indexes are built and sorted in one commit, so
+// warehouse construction stays linear at millions of triples.
+func NewWarehouse(name string, triples []rdf.Triple) (*endpoint.Local, error) {
+	st := store.New()
+	if err := st.AddAll(triples); err != nil {
+		return nil, err
+	}
+	return endpoint.NewLocal(name, st, endpoint.Limits{}), nil
+}
+
+// NewWarehouseFromNTriples streams an N-Triples document into a local
+// warehouse endpoint via store.LoadNTriples, never materializing the
+// whole document as a []rdf.Triple.
+func NewWarehouseFromNTriples(name string, r io.Reader) (*endpoint.Local, error) {
+	st := store.New()
+	if err := store.LoadNTriples(st, r); err != nil {
+		return nil, err
+	}
+	return endpoint.NewLocal(name, st, endpoint.Limits{}), nil
+}
 
 // InitializeWarehouse runs the warehousing-architecture variant of
 // initialization described at the end of Appendix A: when the datasets

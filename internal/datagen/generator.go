@@ -45,6 +45,11 @@ func SmallConfig() Config {
 type Dataset struct {
 	Store *store.Store
 	Cfg   Config
+
+	// loader stages triples during generation; Generate commits it once
+	// at the end, so building the dataset never pays the incremental
+	// path's per-key insertion sort.
+	loader *store.BulkLoader
 }
 
 // IRI helpers mirroring the paper's DBpedia namespaces.
@@ -131,18 +136,26 @@ var classHierarchy = map[string]string{
 	"Industry":             "",
 }
 
-// Generate builds the dataset.
+// Generate builds the dataset through the store's staged bulk-load
+// path: every triple is buffered and the indexes are built in a single
+// commit.
 func Generate(cfg Config) *Dataset {
-	d := &Dataset{Store: store.New(), Cfg: cfg}
+	st := store.New()
+	d := &Dataset{Store: st, Cfg: cfg, loader: store.NewBulkLoader(st)}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	d.addHierarchy()
 	d.addKnownEntities()
 	d.addFillers(rng)
+	d.loader.Commit()
+	// Drop the loader: frees the staging buffer and turns any
+	// post-Generate add() into an immediate panic instead of silently
+	// staging triples that never commit.
+	d.loader = nil
 	return d
 }
 
 func (d *Dataset) add(s, p, o rdf.Term) {
-	d.Store.MustAdd(rdf.NewTriple(s, p, o))
+	d.loader.MustAdd(rdf.NewTriple(s, p, o))
 }
 
 // typeEntity materializes the entity's class and all its ancestors, the

@@ -14,13 +14,18 @@ import (
 // ontologies are in practice.
 func (d *Dataset) Split() (agents, places, works *store.Store) {
 	agents, places, works = store.New(), store.New(), store.New()
-	all := []*store.Store{agents, places, works}
+	// Each partition loads through the staged bulk path: triples are
+	// routed into per-store loaders during the scan and committed once.
+	agentsL := store.NewBulkLoader(agents)
+	placesL := store.NewBulkLoader(places)
+	worksL := store.NewBulkLoader(works)
+	all := []*store.BulkLoader{agentsL, placesL, worksL}
 
 	typ := rdf.NewIRI(rdf.RDFType)
 	owlClass := rdf.NewIRI(rdf.OWLClass)
 
 	// Determine each subject's home partition from its types.
-	home := make(map[rdf.Term]*store.Store)
+	home := make(map[rdf.Term]*store.BulkLoader)
 	agentClasses := map[string]bool{}
 	placeClasses := map[string]bool{}
 	for c := range classHierarchy {
@@ -39,9 +44,9 @@ func (d *Dataset) Split() (agents, places, works *store.Store) {
 		}
 		switch {
 		case agentClasses[tr.O.Value]:
-			home[tr.S] = agents
+			home[tr.S] = agentsL
 		case placeClasses[tr.O.Value]:
-			home[tr.S] = places
+			home[tr.S] = placesL
 		}
 		return true
 	})
@@ -62,17 +67,20 @@ func (d *Dataset) Split() (agents, places, works *store.Store) {
 
 	d.Store.Match(rdf.Term{}, rdf.Term{}, rdf.Term{}, func(tr rdf.Triple) bool {
 		if isSchema(tr) {
-			for _, st := range all {
-				st.MustAdd(tr)
+			for _, l := range all {
+				l.MustAdd(tr)
 			}
 			return true
 		}
 		dst := home[tr.S]
 		if dst == nil {
-			dst = works
+			dst = worksL
 		}
 		dst.MustAdd(tr)
 		return true
 	})
+	for _, l := range all {
+		l.Commit()
+	}
 	return agents, places, works
 }

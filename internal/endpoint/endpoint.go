@@ -56,13 +56,34 @@ type Limits struct {
 	// produced this many intermediate rows — the deterministic stand-in
 	// for a wall-clock execution timeout.
 	MaxIntermediateRows int
-	// RejectEstimateAbove rejects queries whose first-pattern
+	// RejectEstimateAbove rejects queries whose summed per-pattern
 	// cardinality estimate exceeds this bound, modelling endpoints that
-	// refuse obviously expensive queries outright.
+	// refuse obviously expensive queries outright. The store's
+	// estimates are exact (per-entry totals maintained on insert), so
+	// this threshold reads directly as "refuse queries whose patterns
+	// really touch more than N rows" — there is no inflation margin to
+	// pad for.
 	RejectEstimateAbove int
 	// Latency is added to every query to model network round trip plus
 	// queueing; used by the response-time experiments.
 	Latency time.Duration
+}
+
+// DefaultRejectEstimate is the admission threshold DefaultLimits uses.
+// When estimates were loose upper bounds, a useful threshold had to sit
+// far above the real workload to avoid rejecting queries that were in
+// fact cheap. Now that CardinalityEstimate is exact, the threshold is
+// calibrated against true row counts: 100k pattern rows is roughly
+// where a public endpoint's wall-clock timeout would kill the query
+// anyway, so admission refuses it up front.
+const DefaultRejectEstimate = 100_000
+
+// DefaultLimits returns the resource constraints a simulated public
+// endpoint defaults to: exact-estimate admission control at
+// DefaultRejectEstimate, no intermediate-row cap, no latency. Use
+// Limits{} for the warehouse (fully trusted, unlimited) configuration.
+func DefaultLimits() Limits {
+	return Limits{RejectEstimateAbove: DefaultRejectEstimate}
 }
 
 // Local is an Endpoint over an in-memory store.

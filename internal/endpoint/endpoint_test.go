@@ -224,3 +224,68 @@ func TestHTTPTypedLiteralRoundTrip(t *testing.T) {
 		t.Errorf("typed literal = %+v", got)
 	}
 }
+
+// TestExactEstimateAdmission pins the admission boundary now that
+// cardinality estimates are exact: a query whose patterns touch exactly
+// the threshold is admitted, one row more is rejected. The estimate for
+// `?s a Person` is precisely the number of Person instances, so the
+// boundary is sharp — no inflation margin on either side.
+func TestExactEstimateAdmission(t *testing.T) {
+	const n = 40
+	ep := NewLocal("edge", testStore(t, n), Limits{RejectEstimateAbove: n})
+	q := `SELECT ?s WHERE { ?s a <http://x/Person> . }`
+	if _, err := ep.Query(context.Background(), q); err != nil {
+		t.Fatalf("estimate == threshold must be admitted: %v", err)
+	}
+	// Two patterns: n type rows + n name rows = 2n > n, rejected.
+	q2 := `SELECT ?s WHERE { ?s a <http://x/Person> . ?s <http://x/name> ?o . }`
+	if _, err := ep.Query(context.Background(), q2); !errors.Is(err, ErrRejected) {
+		t.Fatalf("estimate above threshold must be rejected, got %v", err)
+	}
+	tight := NewLocal("tight", testStore(t, n), Limits{RejectEstimateAbove: n - 1})
+	if _, err := tight.Query(context.Background(), q); !errors.Is(err, ErrRejected) {
+		t.Fatalf("estimate one above threshold must be rejected, got %v", err)
+	}
+}
+
+// TestDefaultLimitsAdmission pins the DefaultLimits contract: the
+// calibrated threshold value, and that ordinary workloads pass while a
+// store larger than the threshold is refused a full sweep.
+func TestDefaultLimitsAdmission(t *testing.T) {
+	if DefaultRejectEstimate != 100_000 {
+		t.Fatalf("DefaultRejectEstimate = %d, want 100000", DefaultRejectEstimate)
+	}
+	if got := DefaultLimits().RejectEstimateAbove; got != DefaultRejectEstimate {
+		t.Fatalf("DefaultLimits().RejectEstimateAbove = %d, want %d", got, DefaultRejectEstimate)
+	}
+	if DefaultLimits().MaxIntermediateRows != 0 || DefaultLimits().Latency != 0 {
+		t.Fatal("DefaultLimits must only set admission control")
+	}
+	ep := NewLocal("default", testStore(t, 100), DefaultLimits())
+	if _, err := ep.Query(context.Background(), `SELECT ?s WHERE { ?s ?p ?o . }`); err != nil {
+		t.Fatalf("small sweep must be admitted under DefaultLimits: %v", err)
+	}
+
+	// 60k subjects x 2 triples > 100k: build via the bulk loader and
+	// check the full sweep is rejected with its exact cost.
+	big := store.New()
+	l := store.NewBulkLoader(big)
+	typ := rdf.NewIRI(rdf.RDFType)
+	person := rdf.NewIRI("http://x/Person")
+	for i := 0; i < 60_000; i++ {
+		subj := rdf.NewIRI(fmt.Sprintf("http://x/p%d", i))
+		l.MustAdd(rdf.NewTriple(subj, typ, person))
+		l.MustAdd(rdf.NewTriple(subj, rdf.NewIRI("http://x/name"),
+			rdf.NewLangLiteral(fmt.Sprintf("Person %d", i), "en")))
+	}
+	l.Commit()
+	bigEP := NewLocal("big", big, DefaultLimits())
+	if _, err := bigEP.Query(context.Background(), `SELECT ?s WHERE { ?s ?p ?o . }`); !errors.Is(err, ErrRejected) {
+		t.Fatalf("120k-row sweep must be rejected under DefaultLimits, got %v", err)
+	}
+	// A selective query over the same large store is still admitted.
+	q := fmt.Sprintf(`SELECT ?o WHERE { <http://x/p%d> <http://x/name> ?o . }`, 31_337)
+	if _, err := bigEP.Query(context.Background(), q); err != nil {
+		t.Fatalf("selective query must be admitted under DefaultLimits: %v", err)
+	}
+}

@@ -1,14 +1,3 @@
-// Package sparql implements the subset of SPARQL 1.1 that Sapphire needs:
-// SELECT queries with triple patterns, FILTER expressions, DISTINCT,
-// aggregates (COUNT), GROUP BY, ORDER BY, LIMIT and OFFSET, and PREFIX
-// declarations. This covers every query in the paper: the Ivy League
-// example in Section 1, the initialization queries Q1–Q10 in Appendix A,
-// and the user-study queries in Appendix B.
-//
-// The pipeline is lexer → parser → AST → evaluator. The evaluator runs
-// against any Graph (the in-memory store, or a federation of endpoints)
-// and supports a per-row budget hook so simulated endpoints can enforce
-// timeouts the way real SPARQL endpoints do.
 package sparql
 
 import (

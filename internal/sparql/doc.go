@@ -1,0 +1,33 @@
+// Package sparql implements the subset of SPARQL 1.1 that Sapphire needs:
+// SELECT queries with triple patterns, FILTER expressions, DISTINCT,
+// aggregates (COUNT), GROUP BY, ORDER BY, LIMIT and OFFSET, and PREFIX
+// declarations. This covers every query in the paper: the Ivy League
+// example in Section 1, the initialization queries Q1–Q10 in Appendix A,
+// and the user-study queries in Appendix B.
+//
+// The pipeline is lexer → parser → AST → evaluator. The evaluator runs
+// against any Graph (the in-memory store, or a federation of endpoints)
+// and supports a per-row budget hook so simulated endpoints can enforce
+// timeouts the way real SPARQL endpoints do.
+//
+// # The ID-level fast path
+//
+// When the Graph also implements IDGraph (the in-memory store does),
+// the evaluator joins basic graph patterns over dense uint32 term IDs
+// instead of rdf.Term structs and resolves IDs back to terms only when
+// the pattern group is fully joined. Implementations and callers of
+// IDGraph must follow the store's ID contract:
+//
+//   - The zero ID is the wildcard, mirroring the zero-Term convention
+//     of Match; no term ever has ID 0.
+//   - IDs are dense and append-only for the life of the graph, so
+//     bindings can carry raw IDs between join steps.
+//   - MatchIDs callbacks run under the graph's read lock: they must not
+//     issue locking calls back into the graph (Lookup, CountIDs, a
+//     nested MatchIDs) — once a writer queues, a nested read-lock
+//     acquisition deadlocks. ResolveID is documented lock-free exactly
+//     so join loops can materialize terms from inside a callback.
+//
+// Remote and federated graphs implement only Graph and take the
+// Term-level path; the evaluator falls back transparently.
+package sparql

@@ -108,6 +108,70 @@ func BenchmarkStoreMemoryFootprint(b *testing.B) {
 	}
 }
 
+// benchTriples builds n distinct triples across n/2 subjects, the shape
+// that stresses level-one key-slice maintenance hardest.
+func benchTriples(n int) []rdf.Triple {
+	p := rdf.NewIRI("http://x/p")
+	typ := rdf.NewIRI(rdf.RDFType)
+	cls := rdf.NewIRI("http://x/C")
+	out := make([]rdf.Triple, 0, n)
+	for i := 0; i < n/2; i++ {
+		subj := rdf.NewIRI(fmt.Sprintf("http://x/s%d", i))
+		out = append(out, rdf.NewTriple(subj, typ, cls))
+		out = append(out, rdf.NewTriple(subj, p, rdf.NewLiteral(fmt.Sprintf("value %d", i))))
+	}
+	return out
+}
+
+// BenchmarkBulkLoad measures the staged path at 100k triples: intern +
+// buffer, then one Commit that sorts each key slice once.
+func BenchmarkBulkLoad(b *testing.B) {
+	triples := benchTriples(100_000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := New()
+		l := NewBulkLoader(s)
+		if err := l.AddAll(triples); err != nil {
+			b.Fatal(err)
+		}
+		if l.Commit() != len(triples) {
+			b.Fatal("short commit")
+		}
+	}
+}
+
+// BenchmarkAddAll measures Store.AddAll at 100k triples (routed through
+// the bulk path).
+func BenchmarkAddAll(b *testing.B) {
+	triples := benchTriples(100_000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := New()
+		if err := s.AddAll(triples); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSequentialAdd is the incremental path at the same scale: one
+// Add per triple, each new key insertion-sorted with an O(n) memmove.
+// The BulkLoad/SequentialAdd ratio is the ROADMAP bulk-ingestion row.
+func BenchmarkSequentialAdd(b *testing.B) {
+	triples := benchTriples(100_000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := New()
+		for _, tr := range triples {
+			if _, err := s.Add(tr); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
 // BenchmarkAdd measures insert throughput with index maintenance.
 func BenchmarkAdd(b *testing.B) {
 	s := New()

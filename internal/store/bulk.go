@@ -1,0 +1,266 @@
+package store
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"sapphire/internal/rdf"
+)
+
+// BulkLoader is the staged bulk-load path into a Store. The incremental
+// Add keeps every index key slice term-sorted with a binary-search
+// insertion, which costs an O(n) memmove per new key — fine for the
+// online path, quadratic-ish for loading millions of triples at once
+// (datagen, bootstrap, N-Triples ingestion). The loader splits loading
+// into two stages instead:
+//
+//  1. Add/AddAll intern terms into the store's dictionary and buffer the
+//     triples as packed 12-byte ID tuples. The sorted key slices and the
+//     triple indexes are not touched, so nothing here is O(store size).
+//  2. Commit takes the store's write lock once, builds the SPO/POS/OSP
+//     entries for the whole batch with plain appends, and sorts each key
+//     slice that grew exactly once at the end, deduplicating against the
+//     store (and within the batch) and updating the O(1) cardinality
+//     totals in the same pass.
+//
+// Readers are safe throughout: staging only appends to the dictionary
+// (published atomically, exactly as Add does), so a concurrent Match
+// observes the store without the staged triples until Commit's write
+// lock releases, and never a partially built index. Interleaving online
+// Add calls with a staged load is also safe; whichever inserts a triple
+// first wins the dedup.
+//
+// A loader is safe for concurrent use by multiple goroutines and can be
+// reused: Commit drains the buffer, so alternating Add/Commit phases
+// load in stages while keeping peak buffer memory bounded.
+type BulkLoader struct {
+	s *Store
+
+	// buf holds the staged triples as packed ID tuples, in arrival
+	// order. Commit preserves this order for the innermost index slices,
+	// so a bulk load is observationally identical to sequential Add.
+	buf [][3]ID
+}
+
+// NewBulkLoader returns a bulk loader staging into s.
+func NewBulkLoader(s *Store) *BulkLoader {
+	return &BulkLoader{s: s}
+}
+
+// Add stages one triple. It returns an error if the triple violates RDF
+// positional rules; valid triples are interned and buffered but not yet
+// visible to readers.
+func (l *BulkLoader) Add(tr rdf.Triple) error {
+	if !tr.Valid() {
+		return fmt.Errorf("store: invalid triple %s", tr)
+	}
+	s := l.s
+	s.mu.Lock()
+	key := [3]ID{s.dict.intern(tr.S), s.dict.intern(tr.P), s.dict.intern(tr.O)}
+	l.buf = append(l.buf, key)
+	s.mu.Unlock()
+	return nil
+}
+
+// MustAdd stages a triple and panics on invalid input, mirroring
+// Store.MustAdd for dataset construction over static inputs.
+func (l *BulkLoader) MustAdd(tr rdf.Triple) {
+	if err := l.Add(tr); err != nil {
+		panic(err)
+	}
+}
+
+// AddAll stages all triples under one lock acquisition, stopping at the
+// first invalid one (triples before it remain staged).
+func (l *BulkLoader) AddAll(triples []rdf.Triple) error {
+	s := l.s
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, tr := range triples {
+		if !tr.Valid() {
+			return fmt.Errorf("store: invalid triple %s", tr)
+		}
+		l.buf = append(l.buf, [3]ID{s.dict.intern(tr.S), s.dict.intern(tr.P), s.dict.intern(tr.O)})
+	}
+	return nil
+}
+
+// Pending returns the number of staged (not yet committed) triples,
+// counting duplicates — dedup happens at Commit.
+func (l *BulkLoader) Pending() int {
+	l.s.mu.RLock()
+	defer l.s.mu.RUnlock()
+	return len(l.buf)
+}
+
+// Commit publishes every staged triple into the store and drains the
+// buffer, returning how many were new (staged duplicates and triples
+// already present don't count). It holds the write lock for the whole
+// build: concurrent readers block for the duration and then observe the
+// complete batch — never a partially built index.
+func (l *BulkLoader) Commit() int {
+	s := l.s
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	fresh := make([][3]ID, 0, len(l.buf))
+	for _, k := range l.buf {
+		if _, dup := s.present[k]; dup {
+			continue
+		}
+		s.present[k] = struct{}{}
+		fresh = append(fresh, k)
+	}
+	s.size += len(fresh)
+	s.spo.bulkBuild(s.dict, fresh, 0, 1, 2)
+	s.pos.bulkBuild(s.dict, fresh, 1, 2, 0)
+	s.osp.bulkBuild(s.dict, fresh, 2, 0, 1)
+	l.buf = l.buf[:0]
+	return len(fresh)
+}
+
+// LoadNTriples streams an N-Triples document into s through a
+// BulkLoader without materializing the document as a []rdf.Triple:
+// triples are staged in chunks as they parse (12 bytes each once
+// interned) and committed in stages — every loadCommitEvery staged
+// triples and at EOF — so peak loader memory stays bounded no matter
+// the dump size. This is the ingestion path for large dumps; both the
+// public facade and the bootstrap warehouse builders route through it.
+func LoadNTriples(s *Store, r io.Reader) error {
+	const chunk = 8192
+	l := NewBulkLoader(s)
+	rd := rdf.NewReader(r)
+	buf := make([]rdf.Triple, 0, chunk)
+	staged := 0
+	for {
+		tr, err := rd.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		buf = append(buf, tr)
+		if len(buf) == chunk {
+			if err := l.AddAll(buf); err != nil {
+				return err
+			}
+			buf = buf[:0]
+			staged += chunk
+			if staged >= loadCommitEvery {
+				l.Commit()
+				staged = 0
+			}
+		}
+	}
+	if err := l.AddAll(buf); err != nil {
+		return err
+	}
+	l.Commit()
+	return nil
+}
+
+// loadCommitEvery caps staged triples between LoadNTriples commits:
+// 1M triples ≈ 12 MB of staging buffer, while each commit still
+// amortizes its key-slice sorts over a large batch.
+const loadCommitEvery = 1 << 20
+
+// bulkBuild merges a deduplicated batch into one index permutation. ai,
+// bi, ci select the triple positions forming the permutation's levels.
+// The batch is first sorted by (level-1 ID, level-2 ID, arrival order),
+// which groups every map key into one consecutive run: each entry is
+// probed once per run instead of once per triple, new innermost slices
+// are allocated at exact size, and the arrival-order tiebreaker keeps
+// the innermost insertion order identical to sequential Add. Each key
+// slice that grew is re-sorted exactly once. Runs under the store write
+// lock, so the transient unsorted tails are never observable.
+func (x *index) bulkBuild(d *dict, fresh [][3]ID, ai, bi, ci int) {
+	rows := make([][4]ID, len(fresh))
+	for i, k := range fresh {
+		rows[i] = [4]ID{k[ai], k[bi], k[ci], ID(i)}
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		p, q := &rows[i], &rows[j]
+		if p[0] != q[0] {
+			return p[0] < q[0]
+		}
+		if p[1] != q[1] {
+			return p[1] < q[1]
+		}
+		return p[3] < q[3]
+	})
+	l1orig := len(x.keys)
+	for i := 0; i < len(rows); {
+		a := rows[i][0]
+		j := i + 1
+		for j < len(rows) && rows[j][0] == a {
+			j++
+		}
+		e := x.m[a]
+		if e == nil {
+			e = &entry{m: make(map[ID][]ID)}
+			x.m[a] = e
+			x.keys = append(x.keys, a)
+		}
+		l2orig := len(e.keys)
+		for k := i; k < j; {
+			b := rows[k][1]
+			m := k + 1
+			for m < j && rows[m][1] == b {
+				m++
+			}
+			lst, ok := e.m[b]
+			if !ok {
+				e.keys = append(e.keys, b)
+				lst = make([]ID, 0, m-k)
+			}
+			for t := k; t < m; t++ {
+				lst = append(lst, rows[t][2])
+			}
+			e.m[b] = lst
+			e.total += m - k
+			k = m
+		}
+		mergeTail(d, e.keys, l2orig)
+		i = j
+	}
+	mergeTail(d, x.keys, l1orig)
+}
+
+// smallTail is the appended-key count below which mergeTail inserts
+// into the sorted prefix instead of re-sorting the whole slice, so a
+// small AddAll batch against a large store costs what the incremental
+// Add path would, not a full re-sort of every key.
+const smallTail = 16
+
+// mergeTail restores term order on a key slice whose first orig
+// elements are sorted and whose tail was appended unsorted during a
+// bulk build. Large tails (a real bulk load) sort the whole slice once;
+// small tails binary-search-insert each appended key in place.
+func mergeTail(d *dict, keys []ID, orig int) {
+	tail := len(keys) - orig
+	if tail == 0 {
+		return
+	}
+	if tail > smallTail || orig == 0 {
+		sortKeys(d, keys)
+		return
+	}
+	for i := orig; i < len(keys); i++ {
+		id := keys[i]
+		t := d.terms[id]
+		j := sort.Search(i, func(k int) bool {
+			return d.terms[keys[k]].Compare(t) >= 0
+		})
+		copy(keys[j+1:i+1], keys[j:i])
+		keys[j] = id
+	}
+}
+
+// sortKeys sorts an ID slice by term order, the same order insertSorted
+// maintains incrementally.
+func sortKeys(d *dict, keys []ID) {
+	sort.Slice(keys, func(i, j int) bool {
+		return d.terms[keys[i]].Compare(d.terms[keys[j]]) < 0
+	})
+}

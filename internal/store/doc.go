@@ -1,0 +1,64 @@
+// Package store implements the in-memory triple store that backs Sapphire's
+// simulated SPARQL endpoints. It maintains SPO, POS, and OSP hash indexes
+// so that every triple-pattern shape resolves through an index rather than
+// a full scan, and exposes the dataset statistics (predicate frequencies,
+// literal counts, incoming-edge counts) that the paper's initialization
+// queries (Appendix A, Q1–Q10) aggregate over.
+//
+// # Dictionary encoding
+//
+// Terms are interned into a two-way dictionary (see dict.go): each
+// distinct rdf.Term maps to a dense uint32 ID, and all three indexes are
+// nested map[uint32]map[uint32][]uint32 over IDs rather than maps keyed by
+// the 4-field Term struct. The dedup set is map[[3]uint32]struct{}. This
+// shrinks the per-triple footprint, turns every index probe into an
+// integer hash, and makes triple materialization a slice lookup.
+//
+// Deterministic wildcard iteration used to re-sort the key set of a map on
+// every Match/Count call; the ID indexes instead maintain their key slices
+// incrementally sorted (insertion-sorted on Add, the cold path), so a
+// wildcard walk is an amortized O(1)-per-result sweep with no per-call
+// sort.
+//
+// # ID-level API contract
+//
+// Hot consumers (the SPARQL evaluator's join loop, the endpoint cost
+// model) can stay in ID space and skip Term hashing and materialization
+// entirely:
+//
+//	id, ok := st.Lookup(term)          // term → ID, no interning
+//	term := st.ResolveID(id)           // ID → term, O(1), lock-free
+//	st.MatchIDs(s, p, o, fn)           // pattern match over IDs
+//	st.CountIDs(s, p, o)               // exact count, O(1) for all shapes
+//	st.CardinalityEstimateIDs(s, p, o) // same, for cost models
+//
+// The contract every consumer (and every future index) must respect:
+//
+//   - Wildcard == 0. The zero ID is never assigned to a term; MatchIDs
+//     and CountIDs treat it the way Match treats a zero rdf.Term. A
+//     lookup that fails must not be conflated with a wildcard.
+//   - IDs are dense and append-only: assigned from 1 upward in
+//     first-seen order, never reused, never remapped. An ID observed
+//     once remains valid for the life of the store, so IDs can be
+//     cached across queries. The converse does not hold: an ID (and a
+//     successful Lookup) may exist for a term whose triples are still
+//     staged in a BulkLoader, or were never committed at all — pattern
+//     matches and counts for such a term are simply empty.
+//   - Match/MatchIDs callbacks run under the store's read lock. They
+//     must not mutate the store and must not call locking accessors
+//     (Lookup, Count, ...); once a writer queues on the RWMutex, a
+//     nested RLock deadlocks. ResolveID is the exception: it reads an
+//     atomic snapshot of the append-only ID→term slice and never takes
+//     the lock, precisely so callbacks can resolve terms mid-iteration.
+//
+// # Bulk loading
+//
+// Add keeps the sorted-key invariant with a binary-search insertion —
+// an O(n) memmove per new key, fine online, quadratic-ish for loading
+// datasets. BulkLoader (bulk.go) is the staged path: Add/AddAll intern
+// and buffer packed ID triples, Commit builds all three indexes for the
+// batch grouped by key and sorts each touched key slice exactly once.
+// Commit holds the write lock for the whole build, so concurrent
+// readers never observe a partially built index; Store.AddAll routes
+// through it automatically.
+package store

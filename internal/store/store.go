@@ -1,40 +1,3 @@
-// Package store implements the in-memory triple store that backs Sapphire's
-// simulated SPARQL endpoints. It maintains SPO, POS, and OSP hash indexes
-// so that every triple-pattern shape resolves through an index rather than
-// a full scan, and exposes the dataset statistics (predicate frequencies,
-// literal counts, incoming-edge counts) that the paper's initialization
-// queries (Appendix A, Q1–Q10) aggregate over.
-//
-// # Dictionary encoding
-//
-// Terms are interned into a two-way dictionary (see dict.go): each
-// distinct rdf.Term maps to a dense uint32 ID, and all three indexes are
-// nested map[uint32]map[uint32][]uint32 over IDs rather than maps keyed by
-// the 4-field Term struct. The dedup set is map[[3]uint32]struct{}. This
-// shrinks the per-triple footprint, turns every index probe into an
-// integer hash, and makes triple materialization a slice lookup.
-//
-// Deterministic wildcard iteration used to re-sort the key set of a map on
-// every Match/Count call; the ID indexes instead maintain their key slices
-// incrementally sorted (insertion-sorted on Add, the cold path), so a
-// wildcard walk is an amortized O(1)-per-result sweep with no per-call
-// sort.
-//
-// # ID-level API
-//
-// Hot consumers (the SPARQL evaluator's join loop, the endpoint cost
-// model) can stay in ID space and skip Term hashing and materialization
-// entirely:
-//
-//	id, ok := st.Lookup(term)          // term → ID, no interning
-//	term := st.ResolveID(id)           // ID → term, O(1)
-//	st.MatchIDs(s, p, o, fn)           // pattern match over IDs
-//	st.CountIDs(s, p, o)               // exact count, O(1) for all shapes
-//	st.CardinalityEstimateIDs(s, p, o) // same, for cost models
-//
-// store.Wildcard (ID 0) is the ID-level wildcard, mirroring the zero-Term
-// convention of Match. Bindings resolve back to terms only at projection
-// time.
 package store
 
 import (
@@ -99,14 +62,16 @@ func (s *Store) Add(tr rdf.Triple) (bool, error) {
 	return true, nil
 }
 
-// AddAll inserts all triples, stopping at the first invalid one.
+// AddAll inserts all triples, stopping at the first invalid one (valid
+// triples before it are still inserted). It routes through the staged
+// bulk-load path, so each index key slice is sorted once per batch
+// instead of insertion-sorted per new key — use it (or a BulkLoader
+// directly) for anything bigger than a handful of triples.
 func (s *Store) AddAll(triples []rdf.Triple) error {
-	for _, tr := range triples {
-		if _, err := s.Add(tr); err != nil {
-			return err
-		}
-	}
-	return nil
+	l := NewBulkLoader(s)
+	err := l.AddAll(triples)
+	l.Commit()
+	return err
 }
 
 // MustAdd inserts a triple and panics on invalid input. Intended for
@@ -145,7 +110,10 @@ func (s *Store) Contains(tr rdf.Triple) bool {
 }
 
 // Lookup returns the dictionary ID for a term without interning it. The
-// second result is false when the term does not occur in the store.
+// second result is false when the term has never been interned. Note a
+// term can be interned ahead of its triples: a BulkLoader stages terms
+// before Commit, so Lookup may succeed for a term that matches nothing
+// (MatchIDs/CountIDs correctly return empty/0 for it).
 func (s *Store) Lookup(t rdf.Term) (ID, bool) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()

@@ -249,24 +249,19 @@ func (c *Client) Run(ctx context.Context, query string) (*Results, []Suggestion,
 
 // NewMemoryEndpoint builds an in-process endpoint over the given triples
 // with no resource limits — the "warehousing architecture" of the paper.
+// Loading goes through the store's staged bulk-load path, so building
+// endpoints over large datasets stays linear in the number of triples.
 func NewMemoryEndpoint(name string, triples []Triple) (*endpoint.Local, error) {
-	st := store.New()
-	if err := st.AddAll(triples); err != nil {
-		return nil, err
-	}
-	return endpoint.NewLocal(name, st, endpoint.Limits{}), nil
+	return bootstrap.NewWarehouse(name, triples)
 }
 
 // NewEndpointFromNTriples builds an in-process endpoint from an
 // N-Triples document, applying the given limits (use zero Limits for
-// none).
+// none). The document is streamed through the store's bulk loader, so
+// it is never materialized as a whole.
 func NewEndpointFromNTriples(name string, r io.Reader, limits Limits) (*endpoint.Local, error) {
-	triples, err := rdf.NewReader(r).ReadAll()
-	if err != nil {
-		return nil, err
-	}
 	st := store.New()
-	if err := st.AddAll(triples); err != nil {
+	if err := store.LoadNTriples(st, r); err != nil {
 		return nil, err
 	}
 	return endpoint.NewLocal(name, st, limits), nil
