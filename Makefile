@@ -1,15 +1,19 @@
 # Sapphire build/test/bench entry points.
 #
-#   make test   - vet gate + full test suite
-#   make race   - race-detector pass over the concurrency-sensitive packages
-#   make bench  - full benchmark sweep (3 runs, alloc stats) saved to
-#                 BENCH_<yyyy-mm-dd>.txt for before/after comparisons
-#   make vet    - static analysis only
+#   make test           - vet gate + full test suite
+#   make race           - race-detector pass over the concurrency-sensitive packages
+#   make fuzz           - short parser fuzz smoke (same job CI runs)
+#   make bench          - full benchmark sweep (3 runs, alloc stats) saved to
+#                         BENCH_<yyyy-mm-dd>.txt for before/after comparisons
+#   make bench-endpoint - cached-vs-uncached endpoint serving benchmarks saved
+#                         to BENCH_ENDPOINT_<yyyy-mm-dd>.txt
+#   make vet            - static analysis only
 
 GO ?= go
 BENCH_OUT := BENCH_$(shell date +%Y-%m-%d).txt
+BENCH_ENDPOINT_OUT := BENCH_ENDPOINT_$(shell date +%Y-%m-%d).txt
 
-.PHONY: all test vet race bench build
+.PHONY: all test vet race fuzz bench bench-endpoint build
 
 all: build test
 
@@ -25,5 +29,11 @@ test: vet
 race:
 	$(GO) test -race ./internal/store/ ./internal/sparql/ ./internal/endpoint/ ./internal/federation/
 
+fuzz:
+	$(GO) test ./internal/sparql/ -run '^$$' -fuzz 'FuzzParse' -fuzztime=30s
+
 bench:
 	$(GO) test -run '^$$' -bench=. -benchmem -count=3 ./... | tee $(BENCH_OUT)
+
+bench-endpoint:
+	$(GO) test -run '^$$' -bench 'Query|Churn' -benchmem -count=3 ./internal/endpoint/ | tee $(BENCH_ENDPOINT_OUT)

@@ -26,6 +26,8 @@ func main() {
 		latency = flag.Duration("latency", 0, "simulated per-query latency, e.g. 20ms")
 		reject  = flag.Int("reject-above", endpoint.DefaultRejectEstimate,
 			"reject queries whose exact pattern cardinality exceeds this (0 = admit everything)")
+		cacheBytes = flag.Int64("cache-bytes", endpoint.DefaultCacheBytes,
+			"byte budget for the query result cache, keyed by (query, store epoch) (0 = no caching)")
 	)
 	flag.Parse()
 
@@ -42,13 +44,18 @@ func main() {
 		MaxIntermediateRows: *maxRows,
 		Latency:             *latency,
 		RejectEstimateAbove: *reject,
+		CacheBytes:          *cacheBytes,
 	})
 	mux := http.NewServeMux()
 	mux.Handle("/sparql", endpoint.Handler(ep))
 	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
 		s := ep.Stats()
-		fmt.Fprintf(w, "queries=%d timeouts=%d rejected=%d rows=%d\n",
-			s.Queries, s.Timeouts, s.Rejected, s.Rows)
+		epoch, _ := ep.Epoch(r.Context())
+		fmt.Fprintf(w, "queries=%d timeouts=%d rejected=%d rows=%d epoch=%d\n",
+			s.Queries, s.Timeouts, s.Rejected, s.Rows, epoch)
+		fmt.Fprintf(w, "cache: hits=%d misses=%d coalesced=%d evicted=%d bytes=%d entries=%d\n",
+			s.CacheHits, s.CacheMisses, s.CacheCoalesced, s.CacheEvicted,
+			s.CacheBytes, s.CacheEntries)
 	})
 	log.Printf("SPARQL endpoint on %s/sparql", *addr)
 	log.Fatal(http.ListenAndServe(*addr, mux))

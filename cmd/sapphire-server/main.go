@@ -33,6 +33,8 @@ func main() {
 	var endpoints, cachedEndpoints multiFlag
 	addr := flag.String("addr", ":8080", "listen address")
 	initTimeout := flag.Duration("init-timeout", 15*time.Minute, "per-endpoint initialization deadline")
+	epochPoll := flag.Duration("fed-epoch-poll", 0,
+		"how often to re-check member epochs for cache invalidation (0 = every query, negative = never)")
 	flag.Var(&endpoints, "endpoint", "SPARQL endpoint URL to register (repeatable)")
 	flag.Var(&cachedEndpoints, "cached-endpoint", "URL=cachefile pair registering an endpoint from a saved cache (repeatable)")
 	flag.Parse()
@@ -40,7 +42,9 @@ func main() {
 		log.Fatal("at least one -endpoint or -cached-endpoint is required")
 	}
 
-	client := sapphire.New(sapphire.Defaults())
+	cfg := sapphire.Defaults()
+	cfg.FedEpochPoll = *epochPoll
+	client := sapphire.New(cfg)
 	for _, url := range endpoints {
 		ctx, cancel := context.WithTimeout(context.Background(), *initTimeout)
 		log.Printf("registering %s (full initialization) ...", url)

@@ -40,13 +40,51 @@ type Endpoint interface {
 	Query(ctx context.Context, query string) (*sparql.Results, error)
 }
 
+// Epoched is the optional Endpoint extension for mutation epochs. An
+// endpoint that can report how many times its data has changed lets
+// callers (the federation's pattern cache, any layered result cache)
+// invalidate by comparison instead of by guesswork: same epoch, same
+// answers. Local endpoints read the store's atomic counter; HTTP
+// clients probe the server (see Client.Epoch). ok is false when the
+// epoch is unknown — an unreachable server, or an endpoint
+// implementation without mutation tracking — in which case the caller
+// must fall back to manual invalidation.
+type Epoched interface {
+	Epoch(ctx context.Context) (epoch uint64, ok bool)
+}
+
+// StatsReporter is the optional Endpoint extension for serving
+// counters; the webapi stats surface aggregates these across all
+// registered endpoints that implement it.
+type StatsReporter interface {
+	Stats() Stats
+}
+
 // Stats counts endpoint activity; Sapphire's initialization reports these
-// (the paper: ~3800 queries to DBpedia, ~200 timeouts).
+// (the paper: ~3800 queries to DBpedia, ~200 timeouts). The Cache*
+// fields are zero unless the endpoint runs a result cache
+// (Limits.CacheBytes > 0).
 type Stats struct {
 	Queries  int64
 	Timeouts int64
 	Rejected int64
 	Rows     int64
+
+	// CacheHits counts queries served straight from the result cache
+	// (zero evaluation work). CacheMisses counts evaluations triggered
+	// by a cache-enabled query; CacheCoalesced counts queries that
+	// arrived while an identical evaluation was in flight and shared
+	// its outcome instead of evaluating again. CacheEvicted counts
+	// entries dropped to hold the byte budget.
+	CacheHits      int64
+	CacheMisses    int64
+	CacheEvicted   int64
+	CacheCoalesced int64
+
+	// CacheBytes and CacheEntries are live gauges of the cache's
+	// current footprint, not counters; ResetStats leaves them alone.
+	CacheBytes   int64
+	CacheEntries int
 }
 
 // Limits configures the simulated resource constraints of a Local
@@ -65,8 +103,14 @@ type Limits struct {
 	// pad for.
 	RejectEstimateAbove int
 	// Latency is added to every query to model network round trip plus
-	// queueing; used by the response-time experiments.
+	// queueing; used by the response-time experiments. It applies to
+	// cache hits too: a result cache saves evaluation, not the wire.
 	Latency time.Duration
+	// CacheBytes bounds the endpoint's query result cache: evaluated
+	// result sets are kept in an LRU keyed by (canonical query, store
+	// epoch) until their estimated footprint exceeds this many bytes.
+	// 0 disables caching. See resultCache for the design.
+	CacheBytes int64
 }
 
 // DefaultRejectEstimate is the admission threshold DefaultLimits uses.
@@ -77,6 +121,12 @@ type Limits struct {
 // where a public endpoint's wall-clock timeout would kill the query
 // anyway, so admission refuses it up front.
 const DefaultRejectEstimate = 100_000
+
+// DefaultCacheBytes is the result-cache budget the serving commands
+// default to: 64 MiB holds tens of thousands of typical interactive
+// result sets while staying a small fraction of the store's own
+// footprint (~711 bytes/triple).
+const DefaultCacheBytes int64 = 64 << 20
 
 // DefaultLimits returns the resource constraints a simulated public
 // endpoint defaults to: exact-estimate admission control at
@@ -91,6 +141,7 @@ type Local struct {
 	name   string
 	store  *store.Store
 	limits Limits
+	cache  *resultCache // nil when Limits.CacheBytes == 0
 
 	mu    sync.Mutex
 	stats Stats
@@ -98,7 +149,11 @@ type Local struct {
 
 // NewLocal wraps a store as an endpoint with the given limits.
 func NewLocal(name string, st *store.Store, limits Limits) *Local {
-	return &Local{name: name, store: st, limits: limits}
+	l := &Local{name: name, store: st, limits: limits}
+	if limits.CacheBytes > 0 {
+		l.cache = newResultCache(limits.CacheBytes)
+	}
+	return l
 }
 
 // Name implements Endpoint.
@@ -107,22 +162,41 @@ func (l *Local) Name() string { return l.name }
 // Store exposes the underlying store for test setup and datagen.
 func (l *Local) Store() *store.Store { return l.store }
 
+// Epoch implements Epoched: it reports the underlying store's mutation
+// epoch (always known for a local endpoint).
+func (l *Local) Epoch(context.Context) (uint64, bool) {
+	return l.store.Epoch(), true
+}
+
 // Stats returns a snapshot of the endpoint counters.
 func (l *Local) Stats() Stats {
 	l.mu.Lock()
-	defer l.mu.Unlock()
-	return l.stats
+	st := l.stats
+	l.mu.Unlock()
+	if l.cache != nil {
+		st.CacheHits, st.CacheMisses, st.CacheEvicted, st.CacheCoalesced,
+			st.CacheBytes, st.CacheEntries = l.cache.counters()
+	}
+	return st
 }
 
-// ResetStats zeroes the counters.
+// ResetStats zeroes the counters (cache gauges reflect live contents
+// and are unaffected; cached entries stay valid).
 func (l *Local) ResetStats() {
 	l.mu.Lock()
-	defer l.mu.Unlock()
 	l.stats = Stats{}
+	l.mu.Unlock()
+	if l.cache != nil {
+		l.cache.resetCounters()
+	}
 }
 
 // Query implements Endpoint. It enforces admission control, the
-// intermediate-row budget, and context cancellation.
+// intermediate-row budget, and context cancellation. With a result
+// cache configured (Limits.CacheBytes > 0), a repeated query at an
+// unchanged store epoch is served from the cache with zero evaluation
+// work — the hit path is parse, canonicalize, one map probe — and
+// concurrent identical misses coalesce into a single evaluation.
 func (l *Local) Query(ctx context.Context, query string) (*sparql.Results, error) {
 	l.mu.Lock()
 	l.stats.Queries++
@@ -132,19 +206,51 @@ func (l *Local) Query(ctx context.Context, query string) (*sparql.Results, error
 	if err != nil {
 		return nil, fmt.Errorf("endpoint %s: %w", l.name, err)
 	}
+	if l.limits.Latency > 0 {
+		select {
+		case <-time.After(l.limits.Latency):
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	var res *sparql.Results
+	if l.cache != nil {
+		// The epoch read before evaluation is the key's epoch. A cached
+		// entry therefore always answers: "what did this query return
+		// against the triple set this epoch names?" — and the cacheable
+		// flag below refuses to file a result when a write landed
+		// between the epoch read and the end of evaluation, so a result
+		// computed against newer data is never served for an old epoch.
+		epoch := l.store.Epoch()
+		res, err = l.cache.getOrCompute(ctx, cacheKey{query: q.String(), epoch: epoch},
+			func() (*sparql.Results, bool, error) {
+				r, err := l.eval(ctx, q)
+				if err != nil {
+					return nil, false, err
+				}
+				return r, l.store.Epoch() == epoch, nil
+			})
+	} else {
+		res, err = l.eval(ctx, q)
+	}
+	if err != nil {
+		return nil, err
+	}
+	l.mu.Lock()
+	l.stats.Rows += int64(len(res.Rows))
+	l.mu.Unlock()
+	return res, nil
+}
+
+// eval runs admission control and evaluation for a parsed query — the
+// work a cache hit skips entirely.
+func (l *Local) eval(ctx context.Context, q *sparql.Query) (*sparql.Results, error) {
 	if l.limits.RejectEstimateAbove > 0 {
 		if est := l.estimate(q); est > l.limits.RejectEstimateAbove {
 			l.mu.Lock()
 			l.stats.Rejected++
 			l.mu.Unlock()
 			return nil, fmt.Errorf("endpoint %s: estimate %d: %w", l.name, est, ErrRejected)
-		}
-	}
-	if l.limits.Latency > 0 {
-		select {
-		case <-time.After(l.limits.Latency):
-		case <-ctx.Done():
-			return nil, ctx.Err()
 		}
 	}
 	// Single-pattern queries are index sweeps: real endpoints answer
@@ -184,9 +290,6 @@ func (l *Local) Query(ctx context.Context, query string) (*sparql.Results, error
 		}
 		return nil, fmt.Errorf("endpoint %s: %w", l.name, err)
 	}
-	l.mu.Lock()
-	l.stats.Rows += int64(len(res.Rows))
-	l.mu.Unlock()
 	return res, nil
 }
 

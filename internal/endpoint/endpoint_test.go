@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http/httptest"
+	"net/url"
 	"testing"
 	"time"
 
@@ -222,6 +223,61 @@ func TestHTTPTypedLiteralRoundTrip(t *testing.T) {
 	}
 	if got := res.Rows[0]["v"]; got.Datatype != rdf.XSDInteger || got.Value != "42" {
 		t.Errorf("typed literal = %+v", got)
+	}
+}
+
+// TestHTTPEpochProtocol pins the wire form of the epoch extension:
+// `GET ?epoch` returns the decimal epoch, query responses carry the
+// EpochHeader, the probe tracks store mutations, and Client.Epoch reads
+// it all back through the Epoched interface.
+func TestHTTPEpochProtocol(t *testing.T) {
+	st := testStore(t, 3)
+	local := NewLocal("local", st, Limits{})
+	srv := httptest.NewServer(Handler(local))
+	defer srv.Close()
+
+	client := NewClient(srv.URL)
+	e1, ok := client.Epoch(context.Background())
+	if !ok {
+		t.Fatal("Client.Epoch failed against an Epoched server")
+	}
+	localEpoch, _ := local.Epoch(context.Background())
+	if e1 != localEpoch {
+		t.Fatalf("probe epoch = %d, local = %d", e1, localEpoch)
+	}
+
+	// Query responses carry the header.
+	resp, err := srv.Client().Get(srv.URL + "?query=" + url.QueryEscape(`SELECT ?s WHERE { ?s a <http://x/Person> . }`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get(EpochHeader); got != fmt.Sprint(e1) {
+		t.Errorf("%s = %q, want %d", EpochHeader, got, e1)
+	}
+
+	// A mutation moves the probed epoch.
+	st.MustAdd(rdf.NewTriple(rdf.NewIRI("http://x/z"), rdf.NewIRI("http://x/p"), rdf.NewLiteral("v")))
+	e2, ok := client.Epoch(context.Background())
+	if !ok || e2 <= e1 {
+		t.Fatalf("epoch after mutation = (%d, %v), want > %d", e2, ok, e1)
+	}
+}
+
+// TestHTTPEpochUnknown pins the fallback: a server over a non-Epoched
+// endpoint answers the probe 404 and Client.Epoch reports unknown.
+func TestHTTPEpochUnknown(t *testing.T) {
+	inner := NewLocal("inner", testStore(t, 1), Limits{})
+	flaky := NewFlaky(inner, 0, 0, 1) // Flaky does not implement Epoched
+	srv := httptest.NewServer(Handler(flaky))
+	defer srv.Close()
+	if _, ok := NewClient(srv.URL).Epoch(context.Background()); ok {
+		t.Fatal("Epoch reported known for a non-Epoched endpoint")
+	}
+	// And against a server that isn't there at all.
+	srv.Close()
+	if _, ok := NewClient(srv.URL).Epoch(context.Background()); ok {
+		t.Fatal("Epoch reported known for a dead server")
 	}
 }
 

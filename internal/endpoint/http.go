@@ -8,6 +8,7 @@ import (
 	"io"
 	"net/http"
 	"net/url"
+	"strconv"
 	"strings"
 	"time"
 
@@ -78,15 +79,38 @@ func fromJSONTerm(jt jsonTerm) (rdf.Term, error) {
 	}
 }
 
+// EpochHeader carries the endpoint's mutation epoch on every query
+// response from an Epoched endpoint, and GET ?epoch probes it without
+// running a query. Federated callers use the epoch to invalidate their
+// caches only when a member's data actually changed.
+const EpochHeader = "X-Sapphire-Epoch"
+
 // Handler exposes an Endpoint over HTTP at the conventional /sparql
 // path semantics: GET with ?query= or POST with form/raw body. Errors
 // map to HTTP statuses: parse errors 400, timeouts 503, rejections 429.
+//
+// Two extensions carry the mutation epoch of Epoched endpoints across
+// the wire: every query response bears the EpochHeader (the epoch read
+// before evaluation, so a cached downstream entry keyed by it can never
+// claim data newer than it serves), and `GET ?epoch` with no query
+// returns the current epoch as a decimal body — the cheap probe
+// federation invalidation runs. Non-Epoched endpoints answer the probe
+// with 404.
 func Handler(ep Endpoint) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		var query string
 		switch r.Method {
 		case http.MethodGet:
 			query = r.URL.Query().Get("query")
+			if query == "" && r.URL.Query().Has("epoch") {
+				if e, ok := epochOf(r.Context(), ep); ok {
+					w.Header().Set("Content-Type", "text/plain")
+					fmt.Fprintf(w, "%d", e)
+					return
+				}
+				http.Error(w, "endpoint does not report epochs", http.StatusNotFound)
+				return
+			}
 		case http.MethodPost:
 			ct := r.Header.Get("Content-Type")
 			if strings.HasPrefix(ct, "application/x-www-form-urlencoded") {
@@ -111,6 +135,15 @@ func Handler(ep Endpoint) http.Handler {
 			http.Error(w, "missing query", http.StatusBadRequest)
 			return
 		}
+		// The per-query header probe is skipped for endpoints whose
+		// Epoch is itself a network round trip (a Handler proxying a
+		// Client would otherwise double upstream traffic); the explicit
+		// GET ?epoch probe above still forwards for them.
+		var epoch uint64
+		epochKnown := false
+		if _, remote := ep.(remoteEpoched); !remote {
+			epoch, epochKnown = epochOf(r.Context(), ep)
+		}
 		res, err := ep.Query(r.Context(), query)
 		if err != nil {
 			switch {
@@ -124,9 +157,26 @@ func Handler(ep Endpoint) http.Handler {
 			return
 		}
 		w.Header().Set("Content-Type", "application/sparql-results+json")
+		if epochKnown {
+			w.Header().Set(EpochHeader, strconv.FormatUint(epoch, 10))
+		}
 		_ = json.NewEncoder(w).Encode(toJSONResults(res))
 	})
 }
+
+// epochOf reads an endpoint's epoch when it reports one.
+func epochOf(ctx context.Context, ep Endpoint) (uint64, bool) {
+	if e, ok := ep.(Epoched); ok {
+		return e.Epoch(ctx)
+	}
+	return 0, false
+}
+
+// remoteEpoched marks Epoched implementations whose Epoch call costs a
+// network round trip rather than an atomic load.
+type remoteEpoched interface{ epochViaNetwork() }
+
+func (c *Client) epochViaNetwork() {}
 
 // Client is an Endpoint talking to a remote SPARQL HTTP endpoint.
 type Client struct {
@@ -141,6 +191,40 @@ func NewClient(rawURL string) *Client {
 
 // Name implements Endpoint.
 func (c *Client) Name() string { return c.url }
+
+// Epoch implements Epoched by probing the server with `GET ?epoch`
+// (see Handler). ok is false when the server is unreachable, predates
+// the epoch protocol, or wraps a non-Epoched endpoint — callers then
+// fall back to manual cache invalidation.
+func (c *Client) Epoch(ctx context.Context) (uint64, bool) {
+	u := c.url
+	if strings.Contains(u, "?") {
+		u += "&epoch"
+	} else {
+		u += "?epoch"
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return 0, false
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return 0, false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, false
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 64))
+	if err != nil {
+		return 0, false
+	}
+	e, err := strconv.ParseUint(strings.TrimSpace(string(body)), 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return e, true
+}
 
 // Query implements Endpoint by POSTing the query as a form and decoding
 // the SPARQL JSON results. HTTP 503 maps back to ErrTimeout and 429 to

@@ -14,8 +14,10 @@ package federation
 import (
 	"context"
 	"fmt"
+	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"sapphire/internal/endpoint"
 	"sapphire/internal/rdf"
@@ -23,6 +25,17 @@ import (
 )
 
 // Federation is a federated query processor over member endpoints.
+//
+// Cache invalidation is epoch-driven: members that implement
+// endpoint.Epoched (local endpoints natively, HTTP clients via the
+// `GET ?epoch` probe) report a mutation epoch, and the federation
+// snapshots all member epochs into a fingerprint whenever it checks
+// freshness. A fingerprint change means some member's data moved, and
+// both the pattern memoization and the source-selection cache are
+// dropped — so a member that just gained its first triple for a
+// predicate is re-discovered, exactly what manual ResetCaches calls
+// used to be for. Members that cannot report an epoch never trigger
+// automatic invalidation; they still need ResetCaches.
 type Federation struct {
 	members []endpoint.Endpoint
 
@@ -37,15 +50,47 @@ type Federation struct {
 	// queries counts endpoint requests issued, for experiment reporting
 	// and for the Steiner expansion budget.
 	queries int
+
+	// epochPoll throttles freshness checks: 0 checks member epochs on
+	// every Eval (free for local members, one tiny HTTP probe per
+	// remote member), > 0 checks at most once per interval, < 0 never
+	// checks (manual ResetCaches only).
+	epochPoll time.Duration
+	// lastEpochCheck is when the fingerprint was last verified.
+	lastEpochCheck time.Time
+	// epochChecking single-flights fingerprint probes: concurrent Evals
+	// skip the check instead of racing, which both bounds probe traffic
+	// and guarantees fingerprints install in the order they were
+	// computed (a stale install would re-open the fetchPattern guard).
+	epochChecking bool
+	// epochFP is the member-epoch fingerprint the caches were built
+	// against.
+	epochFP string
+	// lastEpochParts remembers each member's last successfully probed
+	// epoch so one transient probe failure does not flap the
+	// fingerprint (and drop the caches twice) for a member whose data
+	// never changed.
+	lastEpochParts []string
 }
 
-// New returns a federation over the given endpoints.
+// New returns a federation over the given endpoints, checking member
+// epochs on every query (SetEpochPoll throttles or disables that).
 func New(members ...endpoint.Endpoint) *Federation {
 	return &Federation{
 		members:      members,
 		sourceCache:  make(map[string][]int),
 		patternCache: make(map[string][]rdf.Triple),
 	}
+}
+
+// SetEpochPoll sets how often the federation re-checks member epochs:
+// 0 on every query (the default), d > 0 at most once per d (bounds
+// probe traffic to remote members at the price of a staleness window
+// up to d), d < 0 never (invalidation is then manual via ResetCaches).
+func (f *Federation) SetEpochPoll(d time.Duration) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.epochPoll = d
 }
 
 // Members returns the registered endpoints.
@@ -59,11 +104,93 @@ func (f *Federation) QueriesIssued() int {
 }
 
 // ResetCaches clears the pattern memoization (source selection survives,
-// as in FedX where the source cache is long-lived).
+// as in FedX where the source cache is long-lived). With epoch-reporting
+// members this is rarely needed — invalidation happens automatically
+// when a member's epoch moves — but it remains the escape hatch for
+// members that cannot report epochs.
 func (f *Federation) ResetCaches() {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	f.patternCache = make(map[string][]rdf.Triple)
+}
+
+// checkEpochs drops the caches when any member's mutation epoch moved
+// since they were built, and returns the fingerprint the caches are
+// valid for — callers hold on to it and refuse to file fetch results
+// once it goes stale (see fetchPattern). Epoch reads happen outside
+// the federation lock: for local members they are one atomic load, for
+// HTTP members one `GET ?epoch` probe (throttled by SetEpochPoll).
+func (f *Federation) checkEpochs(ctx context.Context) string {
+	f.mu.Lock()
+	poll, last, cur := f.epochPoll, f.lastEpochCheck, f.epochFP
+	if f.epochChecking || poll < 0 || (poll > 0 && time.Since(last) < poll) {
+		f.mu.Unlock()
+		return cur
+	}
+	f.epochChecking = true
+	f.mu.Unlock()
+
+	fp := f.epochFingerprint(ctx)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.epochChecking = false
+	f.lastEpochCheck = time.Now()
+	if fp == f.epochFP {
+		return f.epochFP
+	}
+	f.epochFP = fp
+	f.patternCache = make(map[string][]rdf.Triple)
+	// Unlike a manual ResetCaches, an epoch change also invalidates
+	// source selection: a member that had nothing for a predicate may
+	// hold it after the mutation, and the long-lived FedX source cache
+	// would keep routing around it forever.
+	f.sourceCache = make(map[string][]int)
+	return fp
+}
+
+// epochFingerprint concatenates the members' current epochs, probing
+// them concurrently (a serial walk would pay sum-of-RTTs on every
+// query for remote members; concurrent it is max-of-RTTs). A member
+// without a known epoch contributes its last successfully probed value
+// when it has one (a transient probe failure must not flap the
+// fingerprint) and the constant "?" otherwise, so never-known members
+// compare equal across checks and never trigger automatic
+// invalidation. Callers single-flight this via epochChecking, so
+// lastEpochParts sees no concurrent writers.
+func (f *Federation) epochFingerprint(ctx context.Context) string {
+	parts := make([]string, len(f.members))
+	var wg sync.WaitGroup
+	for i, m := range f.members {
+		ep, ok := m.(endpoint.Epoched)
+		if !ok {
+			continue // parts[i] stays "", resolved to "?" below
+		}
+		wg.Add(1)
+		go func(i int, ep endpoint.Epoched) {
+			defer wg.Done()
+			if e, known := ep.Epoch(ctx); known {
+				parts[i] = strconv.FormatUint(e, 10)
+			}
+		}(i, ep)
+	}
+	wg.Wait()
+	f.mu.Lock()
+	if f.lastEpochParts == nil {
+		f.lastEpochParts = make([]string, len(f.members))
+	}
+	for i, p := range parts {
+		if p != "" {
+			f.lastEpochParts[i] = p
+			continue
+		}
+		if prev := f.lastEpochParts[i]; prev != "" {
+			parts[i] = prev
+		} else {
+			parts[i] = "?"
+		}
+	}
+	f.mu.Unlock()
+	return strings.Join(parts, ";")
 }
 
 // Query parses and executes a SPARQL query across the federation.
@@ -77,7 +204,7 @@ func (f *Federation) Query(ctx context.Context, query string) (*sparql.Results, 
 
 // Eval executes a parsed query across the federation.
 func (f *Federation) Eval(ctx context.Context, q *sparql.Query) (*sparql.Results, error) {
-	g := &fedGraph{f: f, ctx: ctx}
+	g := &fedGraph{f: f, ctx: ctx, fp: f.checkEpochs(ctx)}
 	res, err := sparql.Eval(g, q, sparql.Options{})
 	if err != nil {
 		return nil, err
@@ -94,6 +221,10 @@ func (f *Federation) Eval(ctx context.Context, q *sparql.Query) (*sparql.Results
 type fedGraph struct {
 	f   *Federation
 	ctx context.Context
+	// fp is the member-epoch fingerprint this evaluation started at;
+	// fetches carry it so results computed against pre-mutation data
+	// are never filed into caches that were invalidated mid-flight.
+	fp  string
 	err error
 }
 
@@ -103,7 +234,7 @@ func (g *fedGraph) Match(s, p, o rdf.Term, fn func(rdf.Triple) bool) {
 	if g.err != nil {
 		return
 	}
-	triples, err := g.f.fetchPattern(g.ctx, s, p, o)
+	triples, err := g.f.fetchPattern(g.ctx, g.fp, s, p, o)
 	if err != nil {
 		g.err = err
 		return
@@ -135,8 +266,13 @@ func (g *fedGraph) CardinalityEstimate(s, p, o rdf.Term) int {
 }
 
 // fetchPattern returns all triples matching the pattern across relevant
-// members, memoized.
-func (f *Federation) fetchPattern(ctx context.Context, s, p, o rdf.Term) ([]rdf.Triple, error) {
+// members, memoized. fp is the epoch fingerprint the caller's
+// evaluation started at: the result is filed into the pattern cache
+// only if the caches still belong to that fingerprint, so a fetch that
+// raced a member mutation (and a concurrent checkEpochs that already
+// cleared the caches) cannot re-plant pre-mutation data that epoch
+// comparison would then never invalidate.
+func (f *Federation) fetchPattern(ctx context.Context, fp string, s, p, o rdf.Term) ([]rdf.Triple, error) {
 	key := patternKey(s, p, o)
 	f.mu.Lock()
 	if ts, ok := f.patternCache[key]; ok {
@@ -145,7 +281,7 @@ func (f *Federation) fetchPattern(ctx context.Context, s, p, o rdf.Term) ([]rdf.
 	}
 	f.mu.Unlock()
 
-	members, err := f.selectSources(ctx, p)
+	members, err := f.selectSources(ctx, fp, p)
 	if err != nil {
 		return nil, err
 	}
@@ -164,15 +300,18 @@ func (f *Federation) fetchPattern(ctx context.Context, s, p, o rdf.Term) ([]rdf.
 		}
 	}
 	f.mu.Lock()
-	f.patternCache[key] = all
+	if f.epochFP == fp {
+		f.patternCache[key] = all
+	}
 	f.mu.Unlock()
 	return all, nil
 }
 
 // selectSources returns the member indexes relevant for a pattern with
 // predicate p. Bound predicates use the cached ASK-style probe; variable
-// predicates go to every member.
-func (f *Federation) selectSources(ctx context.Context, p rdf.Term) ([]int, error) {
+// predicates go to every member. Probe outcomes are filed under the
+// same stale-fingerprint guard as pattern fetches.
+func (f *Federation) selectSources(ctx context.Context, fp string, p rdf.Term) ([]int, error) {
 	if p.IsZero() || !p.IsIRI() {
 		all := make([]int, len(f.members))
 		for i := range all {
@@ -200,7 +339,9 @@ func (f *Federation) selectSources(ctx context.Context, p rdf.Term) ([]int, erro
 		}
 	}
 	f.mu.Lock()
-	f.sourceCache[p.Value] = relevant
+	if f.epochFP == fp {
+		f.sourceCache[p.Value] = relevant
+	}
 	f.mu.Unlock()
 	return relevant, nil
 }

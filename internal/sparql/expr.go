@@ -163,7 +163,10 @@ type StrExpr struct{ V string }
 // Eval implements Expr.
 func (e StrExpr) Eval(Binding) (Value, error) { return strVal(e.V), nil }
 
-func (e StrExpr) String() string { return strconv.Quote(e.V) }
+// String serializes through the RDF literal quoter, not strconv.Quote:
+// Go-syntax escapes like \x95 are not SPARQL and would make the
+// canonical form unparseable (found by FuzzParse).
+func (e StrExpr) String() string { return rdf.NewLiteral(e.V).String() }
 
 // ExprVars implements Expr.
 func (e StrExpr) ExprVars(map[string]bool) {}

@@ -1,0 +1,132 @@
+package sparql
+
+import (
+	"testing"
+)
+
+// fuzzSeedQueries is the FuzzParse seed corpus: every query shape the
+// test suite exercises anywhere in the repo (parser, eval, endpoint,
+// federation, bootstrap, PUM), plus the malformed inputs the parser
+// tests feed on purpose. The fuzzer mutates outward from real usage.
+var fuzzSeedQueries = []string{
+	// Basic selects, joins, and term forms.
+	`SELECT ?s WHERE { ?s ?p ?o . }`,
+	`SELECT * WHERE { ?s ?p ?o }`,
+	`SELECT * WHERE { }`,
+	`SELECT ?s WHERE { ?s a <http://x/Person> . }`,
+	`SELECT ?s ?n WHERE { ?s a <http://x/Person> . ?s <http://x/name> ?n . }`,
+	`SELECT ?b WHERE { ?b <http://x/author> ?a . ?a <http://x/name> "Jack Kerouac"@en . }`,
+	`SELECT ?b WHERE { ?b <http://x/author> <http://x/kerouac> . }`,
+	`SELECT ?v WHERE { <http://x/a> <http://x/age> ?v . }`,
+	`SELECT ?s WHERE { ?s <http://x/p> "L1" . }`,
+	`SELECT ?n ?b WHERE { ?s <http://x/name> ?n ; <http://x/born> ?b . }`,
+	`SELECT ?x WHERE { ?x <http://x/knows> ?x . }`,
+	// Prefixes.
+	"PREFIX dbo: <http://dbpedia.org/ontology/>\nSELECT ?b WHERE { ?b dbo:author ?a . }",
+	"PREFIX res: <http://dbpedia.org/resource/>\nPREFIX dbo: <http://dbpedia.org/ontology/>\nSELECT ?w WHERE { res:Tom_Hanks dbo:spouse ?w . }",
+	// Modifiers.
+	`SELECT DISTINCT ?a WHERE { ?b <http://x/author> ?a . }`,
+	`SELECT DISTINCT ?s WHERE { ?s <http://x/p> "v"@en . } LIMIT 5`,
+	`SELECT ?n WHERE { ?s <http://x/name> ?n . } LIMIT 10`,
+	`SELECT ?b WHERE { ?b <http://x/author> ?a . } OFFSET 100`,
+	`SELECT ?o WHERE { ?s ?p ?o } LIMIT 100 OFFSET 200`,
+	`SELECT ?s ?o WHERE { ?s <http://x/p> ?o . } ORDER BY DESC(?o) OFFSET 2`,
+	`SELECT ?s ?n WHERE { ?s <http://x/name> ?n . } ORDER BY ?n LIMIT 3`,
+	// Aggregates and grouping.
+	`SELECT (COUNT(?s) AS ?n) WHERE { ?s a <http://x/Person> . }`,
+	`SELECT (COUNT(*) AS ?n) WHERE { ?b <http://x/nonexistent> ?p . }`,
+	`SELECT (COUNT(DISTINCT ?p) AS ?n) WHERE { ?b <http://x/publisher> ?p . }`,
+	`SELECT (AVG(?p) AS ?v) WHERE { ?b <http://x/pages> ?p . }`,
+	`SELECT (MAX(?p) AS ?v) WHERE { ?b <http://x/pages> ?p . }`,
+	`SELECT ?p (COUNT(*) AS ?frequency) WHERE { ?s ?p ?o . } GROUP BY ?p ORDER BY DESC(?frequency)`,
+	// Optionals and unions.
+	`SELECT ?t WHERE { ?b <http://x/title> ?t . OPTIONAL { ?b <http://x/publisher> ?p . } }`,
+	`SELECT ?t WHERE { OPTIONAL { } }`,
+	`SELECT ?t WHERE { { ?x <http://x/a> ?t . } UNION { ?x <http://x/b> ?t . } }`,
+	`SELECT ?t WHERE { ?y <http://x/b> ?t . { ?x <http://x/a> ?t . } UNION { ?x <http://x/c> ?t . } }`,
+	// Filters across the expression grammar.
+	`SELECT ?s WHERE { ?s <http://x/age> ?a . FILTER (?a < 10) }`,
+	`SELECT ?s WHERE { ?s <http://x/age> ?a . FILTER (?a > 10 || ?a < 100) }`,
+	`SELECT ?s WHERE { ?s <http://x/age> ?a . FILTER (?a < -5) }`,
+	`SELECT (COUNT(DISTINCT ?s) AS ?n) WHERE { ?s <http://x/p> ?o . FILTER (strlen(str(?o)) < 80) }`,
+	`SELECT ?x WHERE { ?x ?p ?o . FILTER (langmatches(lang(?o), "EN")) }`,
+	`SELECT ?x WHERE { ?x ?p ?o . FILTER (regex(str(?o), "^Hello", "i")) }`,
+	`SELECT ?x WHERE { ?x ?p ?o . FILTER (contains(lcase(str(?o)), "world") && ?x != <http://x/a>) }`,
+	`SELECT ?x WHERE { ?x ?p ?o . FILTER (!(?o = "x" || isIRI(?x))) }`,
+	// Typed and escaped literals.
+	`SELECT ?s WHERE { ?s <http://x/age> "42"^^<http://www.w3.org/2001/XMLSchema#integer> . }`,
+	`SELECT ?s WHERE { ?s <http://x/q> "line\nbreak \"quoted\" back\\slash" . }`,
+	// Malformed inputs the parser tests pin (seed the error paths too).
+	`SELECT ?s WHERE { ?s ?p ?o`,
+	`SELECT ?s WHERE { ?s a <`,
+	`SELECT ?x WHERE { ?x ?p ?o . FILTER (`,
+	`SELECT ?t WHERE { { ?x <http://x/a> ?t . } UNION }`,
+	`SELECT ?s WHERE { ?s ?p ?o } LIMIT abc`,
+	`SELECT ?s WHERE { ?s ?p ?o } GROUP BY`,
+	`SELECT ?s WHERE { ?s ?p ?o } nonsense ?x`,
+	`SELECT ?p WHERE { "x" ?p ?o }`,
+	`SELECT (MAX(*) AS ?m) WHERE { ?s ?p ?o }`,
+	`SELECT ?s WHERE { ?s dbx:name ?o }`,
+}
+
+// FuzzParse is the parser's crash-and-round-trip battery. For any
+// input: Parse must not panic. For inputs Parse accepts, the canonical
+// serialization (Query.String, the form the endpoint result cache keys
+// on) must re-parse, and re-serializing the re-parse must reproduce it
+// byte-for-byte — String is a fixed point after one canonicalization.
+// If that ever breaks, two textually different spellings of one query
+// could alias distinct cache entries, or a cached key could fail to
+// re-parse on a remote endpoint.
+func FuzzParse(f *testing.F) {
+	for _, q := range fuzzSeedQueries {
+		f.Add(q)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		q, err := Parse(src)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		s1 := q.String()
+		q2, err := Parse(s1)
+		if err != nil {
+			t.Fatalf("canonical form does not re-parse\ninput: %q\ncanonical: %q\nerr: %v", src, s1, err)
+		}
+		s2 := q2.String()
+		if s1 != s2 {
+			t.Fatalf("canonicalization is not a fixed point\ninput: %q\nfirst:  %q\nsecond: %q", src, s1, s2)
+		}
+	})
+}
+
+// TestFuzzSeedsRoundTrip runs the full seed corpus through the fuzz
+// oracle unconditionally (go test never skips it, no -fuzz flag
+// needed), so the round-trip property is pinned for every query shape
+// in the repo even on runs without the fuzzing engine.
+func TestFuzzSeedsRoundTrip(t *testing.T) {
+	for _, src := range fuzzSeedQueries {
+		q, err := Parse(src)
+		if err != nil {
+			continue
+		}
+		s1 := q.String()
+		q2, err := Parse(s1)
+		if err != nil {
+			t.Errorf("canonical form of %q does not re-parse: %v\ncanonical: %s", src, err, s1)
+			continue
+		}
+		if s2 := q2.String(); s1 != s2 {
+			t.Errorf("not a fixed point for %q:\nfirst:  %s\nsecond: %s", src, s1, s2)
+		}
+	}
+	// Sanity: the corpus must contain both parseable and malformed
+	// seeds, or the oracle is exercising only half its paths.
+	parseable := 0
+	for _, src := range fuzzSeedQueries {
+		if _, err := Parse(src); err == nil {
+			parseable++
+		}
+	}
+	if parseable == 0 || parseable == len(fuzzSeedQueries) {
+		t.Errorf("corpus balance off: %d/%d parseable", parseable, len(fuzzSeedQueries))
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 	"unicode"
+	"unicode/utf8"
 )
 
 // tokenKind enumerates lexical token classes.
@@ -197,7 +198,7 @@ func (lx *lexer) next() (token, error) {
 		return token{kind: tokOp, text: "/", pos: start}, nil
 	case isDigit(c):
 		return lx.number()
-	case isIdentStart(rune(c)):
+	case isIdentStartAt(lx.src[lx.i:]):
 		name := lx.ident()
 		// Prefixed name: label ':' local. The label may be empty only
 		// via the ':' branch below.
@@ -236,10 +237,19 @@ func (lx *lexer) skipWS() {
 	}
 }
 
+// ident scans an identifier rune by rune. Decoding real UTF-8 (rather
+// than casting bytes) matters: a stray non-UTF-8 byte must not lex as a
+// Latin-1 letter, because downstream canonicalization (strings.ToLower
+// on function names) would replace it with U+FFFD and the canonical
+// form would no longer re-lex — found by FuzzParse.
 func (lx *lexer) ident() string {
 	start := lx.i
-	for lx.i < len(lx.src) && isIdentPart(rune(lx.src[lx.i])) {
-		lx.i++
+	for lx.i < len(lx.src) {
+		r, size := utf8.DecodeRuneInString(lx.src[lx.i:])
+		if (r == utf8.RuneError && size == 1) || !isIdentPart(r) {
+			break
+		}
+		lx.i += size
 	}
 	return lx.src[start:lx.i]
 }
@@ -249,12 +259,15 @@ func (lx *lexer) ident() string {
 func (lx *lexer) pnameLocal() string {
 	start := lx.i
 	for lx.i < len(lx.src) {
-		c := rune(lx.src[lx.i])
+		c, size := utf8.DecodeRuneInString(lx.src[lx.i:])
+		if c == utf8.RuneError && size <= 1 {
+			break
+		}
 		if isIdentPart(c) || c == '-' {
-			lx.i++
+			lx.i += size
 			continue
 		}
-		if c == '.' && lx.i+1 < len(lx.src) && isIdentPart(rune(lx.src[lx.i+1])) {
+		if c == '.' && lx.i+1 < len(lx.src) && isIdentPartAt(lx.src[lx.i+1:]) {
 			lx.i++
 			continue
 		}
@@ -333,6 +346,25 @@ func isIdentStart(r rune) bool {
 	return unicode.IsLetter(r) || r == '_'
 }
 
+// isIdentStartAt reports whether s opens with a valid identifier rune,
+// decoding UTF-8 properly (an invalid byte is never an ident start).
+func isIdentStartAt(s string) bool {
+	r, size := utf8.DecodeRuneInString(s)
+	if r == utf8.RuneError && size <= 1 {
+		return false
+	}
+	return isIdentStart(r)
+}
+
 func isIdentPart(r rune) bool {
 	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_'
+}
+
+// isIdentPartAt is isIdentPart over the first properly decoded rune of s.
+func isIdentPartAt(s string) bool {
+	r, size := utf8.DecodeRuneInString(s)
+	if r == utf8.RuneError && size <= 1 {
+		return false
+	}
+	return isIdentPart(r)
 }

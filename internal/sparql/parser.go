@@ -41,8 +41,19 @@ type parser struct {
 	q    *Query
 }
 
-func (p *parser) cur() token  { return p.toks[p.i] }
-func (p *parser) next() token { t := p.toks[p.i]; p.i++; return t }
+func (p *parser) cur() token { return p.toks[p.i] }
+
+// next consumes and returns the current token. The trailing EOF token
+// is sticky: consuming it does not advance, so cur is always in range
+// even when an error path consumes further than the grammar allows
+// (found by FuzzParse: `SELECT(` walked one token past EOF).
+func (p *parser) next() token {
+	t := p.toks[p.i]
+	if t.kind != tokEOF {
+		p.i++
+	}
+	return t
+}
 
 func (p *parser) errf(format string, args ...any) error {
 	pos := p.cur().pos

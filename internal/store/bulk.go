@@ -34,6 +34,14 @@ import (
 // A loader is safe for concurrent use by multiple goroutines and can be
 // reused: Commit drains the buffer, so alternating Add/Commit phases
 // load in stages while keeping peak buffer memory bounded.
+//
+// The staging buffer is capped: once it reaches the auto-commit
+// threshold (DefaultAutoCommit triples unless overridden with
+// SetAutoCommitThreshold), the loader commits inline, so a caller that
+// streams an arbitrarily large dump through Add/AddAll without ever
+// calling Commit still sees bounded loader memory. Callers that need
+// strict all-at-once visibility of a batch must keep the batch under
+// the threshold (or raise it).
 type BulkLoader struct {
 	s *Store
 
@@ -41,11 +49,31 @@ type BulkLoader struct {
 	// order. Commit preserves this order for the innermost index slices,
 	// so a bulk load is observationally identical to sequential Add.
 	buf [][3]ID
+
+	// autoCommit is the staged-triple count at which Add/AddAll commit
+	// inline; <= 0 disables the cap.
+	autoCommit int
 }
 
-// NewBulkLoader returns a bulk loader staging into s.
+// DefaultAutoCommit is the staged-buffer cap a new BulkLoader starts
+// with: 1M staged triples ≈ 12 MB of packed IDs, while each commit
+// still amortizes its key-slice sorts over a large batch.
+const DefaultAutoCommit = 1 << 20
+
+// NewBulkLoader returns a bulk loader staging into s with the
+// DefaultAutoCommit buffer cap.
 func NewBulkLoader(s *Store) *BulkLoader {
-	return &BulkLoader{s: s}
+	return &BulkLoader{s: s, autoCommit: DefaultAutoCommit}
+}
+
+// SetAutoCommitThreshold changes the staged-triple count at which the
+// loader commits inline. n <= 0 disables auto-commit entirely, restoring
+// the unbounded stage-until-Commit behavior (the caller then owns the
+// buffer growth).
+func (l *BulkLoader) SetAutoCommitThreshold(n int) {
+	l.s.mu.Lock()
+	l.autoCommit = n
+	l.s.mu.Unlock()
 }
 
 // Add stages one triple. It returns an error if the triple violates RDF
@@ -59,6 +87,7 @@ func (l *BulkLoader) Add(tr rdf.Triple) error {
 	s.mu.Lock()
 	key := [3]ID{s.dict.intern(tr.S), s.dict.intern(tr.P), s.dict.intern(tr.O)}
 	l.buf = append(l.buf, key)
+	l.maybeAutoCommitLocked()
 	s.mu.Unlock()
 	return nil
 }
@@ -82,8 +111,19 @@ func (l *BulkLoader) AddAll(triples []rdf.Triple) error {
 			return fmt.Errorf("store: invalid triple %s", tr)
 		}
 		l.buf = append(l.buf, [3]ID{s.dict.intern(tr.S), s.dict.intern(tr.P), s.dict.intern(tr.O)})
+		l.maybeAutoCommitLocked()
 	}
 	return nil
+}
+
+// maybeAutoCommitLocked commits inline when the staged buffer has
+// reached the auto-commit threshold. Caller must hold the store write
+// lock; the commit reuses it, so concurrent readers observe the flushed
+// batch all-or-nothing exactly as with an explicit Commit.
+func (l *BulkLoader) maybeAutoCommitLocked() {
+	if l.autoCommit > 0 && len(l.buf) >= l.autoCommit {
+		l.commitLocked()
+	}
 }
 
 // Pending returns the number of staged (not yet committed) triples,
@@ -103,6 +143,12 @@ func (l *BulkLoader) Commit() int {
 	s := l.s
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return l.commitLocked()
+}
+
+// commitLocked is Commit's body; caller must hold the store write lock.
+func (l *BulkLoader) commitLocked() int {
+	s := l.s
 	fresh := make([][3]ID, 0, len(l.buf))
 	for _, k := range l.buf {
 		if _, dup := s.present[k]; dup {
@@ -116,22 +162,25 @@ func (l *BulkLoader) Commit() int {
 	s.pos.bulkBuild(s.dict, fresh, 1, 2, 0)
 	s.osp.bulkBuild(s.dict, fresh, 2, 0, 1)
 	l.buf = l.buf[:0]
+	if len(fresh) > 0 {
+		s.epoch.Add(1)
+	}
 	return len(fresh)
 }
 
 // LoadNTriples streams an N-Triples document into s through a
 // BulkLoader without materializing the document as a []rdf.Triple:
 // triples are staged in chunks as they parse (12 bytes each once
-// interned) and committed in stages — every loadCommitEvery staged
-// triples and at EOF — so peak loader memory stays bounded no matter
-// the dump size. This is the ingestion path for large dumps; both the
-// public facade and the bootstrap warehouse builders route through it.
+// interned), and the loader's auto-commit cap (DefaultAutoCommit)
+// flushes the staging buffer periodically, so peak loader memory stays
+// bounded no matter the dump size. This is the ingestion path for large
+// dumps; both the public facade and the bootstrap warehouse builders
+// route through it.
 func LoadNTriples(s *Store, r io.Reader) error {
 	const chunk = 8192
 	l := NewBulkLoader(s)
 	rd := rdf.NewReader(r)
 	buf := make([]rdf.Triple, 0, chunk)
-	staged := 0
 	for {
 		tr, err := rd.Read()
 		if err == io.EOF {
@@ -146,11 +195,6 @@ func LoadNTriples(s *Store, r io.Reader) error {
 				return err
 			}
 			buf = buf[:0]
-			staged += chunk
-			if staged >= loadCommitEvery {
-				l.Commit()
-				staged = 0
-			}
 		}
 	}
 	if err := l.AddAll(buf); err != nil {
@@ -159,11 +203,6 @@ func LoadNTriples(s *Store, r io.Reader) error {
 	l.Commit()
 	return nil
 }
-
-// loadCommitEvery caps staged triples between LoadNTriples commits:
-// 1M triples ≈ 12 MB of staging buffer, while each commit still
-// amortizes its key-slice sorts over a large batch.
-const loadCommitEvery = 1 << 20
 
 // bulkBuild merges a deduplicated batch into one index permutation. ai,
 // bi, ci select the triple positions forming the permutation's levels.

@@ -3,6 +3,7 @@ package store
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"sapphire/internal/rdf"
 )
@@ -11,6 +12,16 @@ import (
 // not usable; call New.
 type Store struct {
 	mu sync.RWMutex
+
+	// epoch counts committed mutations: it is bumped (under the write
+	// lock, before it releases) every time the triple set actually
+	// changes — a successful Add of a new triple, or a BulkLoader.Commit
+	// that published at least one fresh triple (AddAll routes through
+	// the loader). Reads are a single atomic load, no lock: the epoch is
+	// the cache-invalidation signal for everything layered above the
+	// store (endpoint result cache, federation pattern cache), and those
+	// layers read it on every query.
+	epoch atomic.Uint64
 
 	// dict interns terms to dense IDs; all indexes below are over IDs.
 	dict *dict
@@ -59,7 +70,26 @@ func (s *Store) Add(tr rdf.Triple) (bool, error) {
 	s.pos.add(s.dict, pi, oi, si)
 	s.osp.add(s.dict, oi, si, pi)
 	s.size++
+	s.epoch.Add(1)
 	return true, nil
+}
+
+// Epoch returns the store's mutation epoch: a monotonic counter that
+// advances whenever the triple set changes (Add of a new triple,
+// BulkLoader.Commit with fresh triples). Two Epoch reads returning the
+// same value bracket a window in which every query answer was computed
+// against the same triple set, which is exactly the guarantee a result
+// cache needs: keying cached entries by (query, epoch) makes
+// invalidation free — a mutation moves the epoch and every stale entry
+// simply stops being addressable.
+//
+// Epoch never takes the store lock. It may be observed to advance
+// slightly before a writer releases the write lock; a reader that then
+// evaluates a query blocks on the read lock until the writer is done,
+// so the answer it computes is consistent with (or newer than) the
+// epoch it read — never older.
+func (s *Store) Epoch() uint64 {
+	return s.epoch.Load()
 }
 
 // AddAll inserts all triples, stopping at the first invalid one (valid

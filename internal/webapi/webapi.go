@@ -66,7 +66,10 @@ func Handler(client *sapphire.Client) http.Handler {
 		})
 	})
 	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, client.Stats())
+		writeJSON(w, statsResponse{
+			InitStats: client.Stats(),
+			Serving:   client.ServingStats(r.Context()),
+		})
 	})
 	return mux
 }
@@ -82,6 +85,16 @@ func readBody(w http.ResponseWriter, r *http.Request) (string, bool) {
 		return "", false
 	}
 	return string(body), true
+}
+
+// statsResponse is the /stats payload: the initialization statistics
+// inlined at the top level (unchanged wire shape for existing clients)
+// plus the live serving counters — federation request count, member
+// epochs, and result-cache hit/miss/evict/coalesced numbers — under
+// "serving".
+type statsResponse struct {
+	sapphire.InitStats
+	Serving sapphire.ServingStats `json:"serving"`
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

@@ -29,6 +29,7 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"time"
 
 	"sapphire/internal/bootstrap"
 	"sapphire/internal/endpoint"
@@ -76,6 +77,11 @@ type Config struct {
 	Bootstrap bootstrap.Config
 	// Lexicon overrides the built-in verbalization lexicon.
 	Lexicon *lexicon.Lexicon
+	// FedEpochPoll throttles the federation's epoch-driven cache
+	// invalidation: 0 checks member epochs on every query (the
+	// default), > 0 checks at most once per interval, < 0 disables
+	// automatic invalidation entirely.
+	FedEpochPoll time.Duration
 }
 
 // Defaults returns the configuration used throughout the paper.
@@ -159,6 +165,7 @@ func (c *Client) SaveEndpointCache(name string, w io.Writer) error {
 
 func (c *Client) rebuildLocked() {
 	c.fed = federation.New(c.endpoints...)
+	c.fed.SetEpochPoll(c.cfg.FedEpochPoll)
 	merged := bootstrap.MergeCaches(c.caches...)
 	c.model = pum.New(merged, c.fed, c.cfg.Lexicon, c.cfg.PUM)
 }
@@ -187,6 +194,64 @@ func (c *Client) Stats() InitStats {
 		return m.Cache().Stats
 	}
 	return InitStats{}
+}
+
+// ServingStats reports live query-serving counters: the federation's
+// request count plus, per registered endpoint, its mutation epoch and
+// serving stats (including result-cache hit/miss/evict/coalesced
+// counters) where the endpoint exposes them.
+type ServingStats struct {
+	// FederationQueries is the number of requests the federation has
+	// shipped to members (probes and pattern fetches).
+	FederationQueries int `json:"federationQueries"`
+	// Endpoints lists per-member serving state in registration order.
+	Endpoints []EndpointServingStats `json:"endpoints"`
+}
+
+// EndpointServingStats is one endpoint's entry in ServingStats.
+type EndpointServingStats struct {
+	Name string `json:"name"`
+	// Epoch is the endpoint's mutation epoch; EpochKnown is false when
+	// the endpoint cannot report one (then Epoch is meaningless).
+	Epoch      uint64 `json:"epoch"`
+	EpochKnown bool   `json:"epochKnown"`
+	// Stats carries the endpoint's counters when it exposes them
+	// (local/simulated endpoints do; plain HTTP clients do not).
+	Stats *endpoint.Stats `json:"stats,omitempty"`
+}
+
+// ServingStats collects live serving counters across the federation and
+// every registered endpoint. Epoch probes for remote endpoints use ctx
+// and run concurrently, so one hung member delays the stats surface by
+// one probe timeout, not the sum over members.
+func (c *Client) ServingStats(ctx context.Context) ServingStats {
+	c.mu.RLock()
+	fed := c.fed
+	eps := append([]endpoint.Endpoint(nil), c.endpoints...)
+	c.mu.RUnlock()
+	var out ServingStats
+	if fed != nil {
+		out.FederationQueries = fed.QueriesIssued()
+	}
+	out.Endpoints = make([]EndpointServingStats, len(eps))
+	var wg sync.WaitGroup
+	for i, ep := range eps {
+		wg.Add(1)
+		go func(i int, ep endpoint.Endpoint) {
+			defer wg.Done()
+			es := EndpointServingStats{Name: ep.Name()}
+			if e, ok := ep.(endpoint.Epoched); ok {
+				es.Epoch, es.EpochKnown = e.Epoch(ctx)
+			}
+			if s, ok := ep.(endpoint.StatsReporter); ok {
+				st := s.Stats()
+				es.Stats = &st
+			}
+			out.Endpoints[i] = es
+		}(i, ep)
+	}
+	wg.Wait()
+	return out
 }
 
 // Complete returns up to k auto-complete suggestions for the term being
