@@ -3,17 +3,34 @@
 #   make test           - vet gate + full test suite
 #   make race           - race-detector pass over the concurrency-sensitive packages
 #   make fuzz           - short parser fuzz smoke (same job CI runs)
+#   make fmt            - fail if any file is not gofmt-clean (same check CI runs)
 #   make bench          - full benchmark sweep (3 runs, alloc stats) saved to
 #                         BENCH_<yyyy-mm-dd>.txt for before/after comparisons
 #   make bench-endpoint - cached-vs-uncached endpoint serving benchmarks saved
 #                         to BENCH_ENDPOINT_<yyyy-mm-dd>.txt
+#   make bench-ci       - pinned short benchmark config (the headline store /
+#                         eval / endpoint benchmarks, 4 repeats) parsed into
+#                         BENCH_pr.json — what the CI bench job runs
+#   make bench-gate     - compare BENCH_pr.json against bench_baseline.json,
+#                         failing on >30% ns/op regression of any headline
+#                         benchmark (sapphire-benchgate)
+#   make bench-baseline - regenerate bench_baseline.json from a fresh pinned
+#                         run (do this when the reference hardware changes)
 #   make vet            - static analysis only
 
 GO ?= go
 BENCH_OUT := BENCH_$(shell date +%Y-%m-%d).txt
 BENCH_ENDPOINT_OUT := BENCH_ENDPOINT_$(shell date +%Y-%m-%d).txt
 
-.PHONY: all test vet race fuzz bench bench-endpoint build
+# The pinned CI benchmark config: headline benchmarks only, fixed
+# benchtime and repeat count, fixed 1-CPU setting so runner core counts
+# don't change what the numbers mean. BenchmarkMatchByPredicate expands
+# to its single/sharded8 sub-benchmarks.
+BENCH_CI_PATTERN := ^(BenchmarkMatchByPredicate|BenchmarkEvalTwoHopJoin|BenchmarkCachedQuery|BenchmarkBulkLoad)$$
+BENCH_CI_PKGS := ./internal/store/ ./internal/sparql/ ./internal/endpoint/
+BENCH_CI_FLAGS := -run '^$$' -bench '$(BENCH_CI_PATTERN)' -benchtime=200ms -count=4 -cpu=1 -timeout=20m
+
+.PHONY: all test vet fmt race fuzz bench bench-endpoint bench-ci bench-gate bench-baseline build
 
 all: build test
 
@@ -22,6 +39,9 @@ build:
 
 vet:
 	$(GO) vet ./...
+
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
 
 test: vet
 	$(GO) test ./...
@@ -37,3 +57,14 @@ bench:
 
 bench-endpoint:
 	$(GO) test -run '^$$' -bench 'Query|Churn' -benchmem -count=3 ./internal/endpoint/ | tee $(BENCH_ENDPOINT_OUT)
+
+bench-ci:
+	$(GO) test $(BENCH_CI_FLAGS) $(BENCH_CI_PKGS) | tee BENCH_pr.txt
+	$(GO) run ./cmd/sapphire-benchgate -parse BENCH_pr.txt -out BENCH_pr.json
+
+bench-gate:
+	$(GO) run ./cmd/sapphire-benchgate -baseline bench_baseline.json -current BENCH_pr.json -threshold 0.30
+
+bench-baseline:
+	$(GO) test $(BENCH_CI_FLAGS) $(BENCH_CI_PKGS) | tee BENCH_baseline.txt
+	$(GO) run ./cmd/sapphire-benchgate -parse BENCH_baseline.txt -out bench_baseline.json

@@ -15,6 +15,7 @@ import (
 
 	"sapphire/internal/datagen"
 	"sapphire/internal/endpoint"
+	"sapphire/internal/store"
 )
 
 func main() {
@@ -28,8 +29,14 @@ func main() {
 			"reject queries whose exact pattern cardinality exceeds this (0 = admit everything)")
 		cacheBytes = flag.Int64("cache-bytes", endpoint.DefaultCacheBytes,
 			"byte budget for the query result cache, keyed by (query, store epoch) (0 = no caching)")
+		shards = flag.Int("shards", store.DefaultShards(),
+			"store shard count: subject-hash partitions with per-shard locks/epochs (1 = unsharded, whole-batch commit atomicity)")
 	)
 	flag.Parse()
+
+	// Must run before any store is built; datagen and every other
+	// store.New caller picks up the process default.
+	store.SetDefaultShards(*shards)
 
 	cfg := datagen.DefaultConfig()
 	if *scale == "small" {
@@ -53,8 +60,8 @@ func main() {
 		epoch, _ := ep.Epoch(r.Context())
 		fmt.Fprintf(w, "queries=%d timeouts=%d rejected=%d rows=%d epoch=%d\n",
 			s.Queries, s.Timeouts, s.Rejected, s.Rows, epoch)
-		fmt.Fprintf(w, "cache: hits=%d misses=%d coalesced=%d evicted=%d bytes=%d entries=%d\n",
-			s.CacheHits, s.CacheMisses, s.CacheCoalesced, s.CacheEvicted,
+		fmt.Fprintf(w, "cache: hits=%d rawhits=%d misses=%d coalesced=%d evicted=%d bytes=%d entries=%d\n",
+			s.CacheHits, s.CacheRawHits, s.CacheMisses, s.CacheCoalesced, s.CacheEvicted,
 			s.CacheBytes, s.CacheEntries)
 	})
 	log.Printf("SPARQL endpoint on %s/sparql", *addr)

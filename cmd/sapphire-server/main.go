@@ -21,6 +21,7 @@ import (
 
 	"sapphire"
 	"sapphire/internal/endpoint"
+	"sapphire/internal/store"
 	"sapphire/internal/webapi"
 )
 
@@ -35,9 +36,12 @@ func main() {
 	initTimeout := flag.Duration("init-timeout", 15*time.Minute, "per-endpoint initialization deadline")
 	epochPoll := flag.Duration("fed-epoch-poll", 0,
 		"how often to re-check member epochs for cache invalidation (0 = every query, negative = never)")
+	shards := flag.Int("shards", store.DefaultShards(),
+		"shard count for any in-process store built by this server (warehouses, local endpoints); 1 = unsharded")
 	flag.Var(&endpoints, "endpoint", "SPARQL endpoint URL to register (repeatable)")
 	flag.Var(&cachedEndpoints, "cached-endpoint", "URL=cachefile pair registering an endpoint from a saved cache (repeatable)")
 	flag.Parse()
+	store.SetDefaultShards(*shards)
 	if len(endpoints)+len(cachedEndpoints) == 0 {
 		log.Fatal("at least one -endpoint or -cached-endpoint is required")
 	}

@@ -179,7 +179,7 @@ func TestCacheSingleflightCoalesces(t *testing.T) {
 	// Wait until every follower is parked on the flight, then release
 	// the leader.
 	for deadline := time.Now().Add(5 * time.Second); ; {
-		_, _, _, coalesced, _, _ := c.counters()
+		_, _, _, _, coalesced, _, _ := c.counters()
 		if coalesced == followers {
 			break
 		}
@@ -196,7 +196,7 @@ func TestCacheSingleflightCoalesces(t *testing.T) {
 			t.Fatalf("caller %d got %p, want shared %p", i, res, want)
 		}
 	}
-	hits, misses, _, coalesced, _, _ := c.counters()
+	hits, _, misses, _, coalesced, _, _ := c.counters()
 	if misses != 1 || coalesced != followers || hits != 0 {
 		t.Errorf("counters = hits %d misses %d coalesced %d, want 0/1/%d", hits, misses, coalesced, followers)
 	}
@@ -242,7 +242,7 @@ func TestCacheFlightLeaderCanceled(t *testing.T) {
 		followerDone <- res
 	}()
 	for deadline := time.Now().Add(5 * time.Second); ; {
-		_, _, _, coalesced, _, _ := c.counters()
+		_, _, _, _, coalesced, _, _ := c.counters()
 		if coalesced == 1 {
 			break
 		}
@@ -298,7 +298,7 @@ func TestCacheFlightLeaderPanics(t *testing.T) {
 		waiterErr <- err
 	}()
 	for deadline := time.Now().Add(5 * time.Second); ; {
-		_, _, _, coalesced, _, _ := c.counters()
+		_, _, _, _, coalesced, _, _ := c.counters()
 		if coalesced == 1 {
 			break
 		}
@@ -344,7 +344,7 @@ func TestCacheUncacheableNotStored(t *testing.T) {
 	if evals != 3 {
 		t.Errorf("evals = %d, want 3 (uncacheable result was stored)", evals)
 	}
-	if _, _, _, _, bytes, entries := c.counters(); bytes != 0 || entries != 0 {
+	if _, _, _, _, _, bytes, entries := c.counters(); bytes != 0 || entries != 0 {
 		t.Errorf("cache not empty: %d bytes, %d entries", bytes, entries)
 	}
 }
@@ -439,7 +439,11 @@ func TestCacheEquivalence(t *testing.T) {
 // multiple. Run with -race this also proves the cache's internal
 // bookkeeping is data-race free against the store's epoch publication.
 func TestCachedQueryConcurrentWithWrites(t *testing.T) {
-	s := store.New()
+	// Whole-batch commit atomicity is the 1-shard store contract; a
+	// multi-shard store commits shard by shard and a reader may observe
+	// a prefix of a batch, which would (correctly) break the
+	// batch-multiple invariant this test pins.
+	s := store.NewSharded(1)
 	online := rdf.NewIRI("http://x/online")
 	batchP := rdf.NewIRI("http://x/batch")
 	// Seed one batch so the query never starts empty.
@@ -532,4 +536,102 @@ func TestCachedQueryConcurrentWithWrites(t *testing.T) {
 	}
 	t.Logf("concurrent run: queries=%d hits=%d misses=%d coalesced=%d",
 		st.Queries, st.CacheHits, st.CacheMisses, st.CacheCoalesced)
+}
+
+// TestRawPreKey pins the raw-string fast path: an exact repeat of a
+// query string is served without parsing (CacheRawHits), a textual
+// variant pays one parse and shares the canonical entry, a repeat of
+// that variant rides its own alias, and a store mutation makes every
+// alias unreachable (no stale serves).
+func TestRawPreKey(t *testing.T) {
+	s := testStore(t, 10)
+	ep := NewLocal("c", s, Limits{CacheBytes: 1 << 20})
+	q := `SELECT ?s WHERE { ?s a <http://x/Person> . }`
+	variant := "SELECT ?s\nWHERE { ?s a <http://x/Person> . }"
+
+	first := dump(mustQuery(t, ep, q))
+	if st := ep.Stats(); st.CacheRawHits != 0 || st.CacheMisses != 1 {
+		t.Fatalf("after miss: %+v", st)
+	}
+	if d := dump(mustQuery(t, ep, q)); d != first {
+		t.Fatal("raw hit served different result")
+	}
+	if st := ep.Stats(); st.CacheRawHits != 1 || st.CacheHits != 1 {
+		t.Fatalf("exact repeat should be a raw hit: %+v", st)
+	}
+	// Variant: canonical hit (parse paid), not a raw hit — then its own
+	// repeat becomes a raw hit through the newly filed alias.
+	if d := dump(mustQuery(t, ep, variant)); d != first {
+		t.Fatal("variant served different result")
+	}
+	if st := ep.Stats(); st.CacheRawHits != 1 || st.CacheHits != 2 {
+		t.Fatalf("variant first use must be a canonical (non-raw) hit: %+v", st)
+	}
+	if d := dump(mustQuery(t, ep, variant)); d != first {
+		t.Fatal("variant raw hit served different result")
+	}
+	if st := ep.Stats(); st.CacheRawHits != 2 {
+		t.Fatalf("variant repeat should ride its alias: %+v", st)
+	}
+
+	// A mutation orphans every alias: the same strings re-evaluate and
+	// see the new row.
+	s.MustAdd(rdf.NewTriple(rdf.NewIRI("http://x/fresh"), rdf.NewIRI(rdf.RDFType), rdf.NewIRI("http://x/Person")))
+	if got := len(mustQuery(t, ep, q).Rows); got != 11 {
+		t.Fatalf("stale raw serve after mutation: %d rows, want 11", got)
+	}
+	if got := len(mustQuery(t, ep, variant).Rows); got != 11 {
+		t.Fatalf("stale variant serve after mutation: %d rows, want 11", got)
+	}
+}
+
+// TestRawAliasEvictionCleanup fills a tiny cache until eviction churn
+// and then checks the alias map holds no orphans: every surviving alias
+// must point at an element the canonical map still owns — an evicted
+// entry must take its aliases with it.
+func TestRawAliasEvictionCleanup(t *testing.T) {
+	ep := NewLocal("c", testStore(t, 50), Limits{CacheBytes: 4 << 10})
+	for i := 0; i < 50; i++ {
+		q := fmt.Sprintf(`SELECT ?n WHERE { <http://x/p%d> <http://x/name> ?n . }`, i)
+		mustQuery(t, ep, q)
+		mustQuery(t, ep, q) // file + exercise the alias
+	}
+	st := ep.Stats()
+	if st.CacheEvicted == 0 {
+		t.Fatalf("no eviction churn: %+v", st)
+	}
+	c := ep.cache
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.raws) == 0 {
+		t.Fatal("no aliases survived at all")
+	}
+	for raw, el := range c.raws {
+		e := el.Value.(*cacheEntry)
+		if got, ok := c.entries[e.key]; !ok || got != el {
+			t.Fatalf("alias %q points at an evicted entry %q", raw.query, e.key.query)
+		}
+	}
+}
+
+// TestRawPreKeyCanonicalSpelling pins the fallback for clients that
+// send query text already in canonical form (sparql.Query.String()
+// output, e.g. machine-generated queries): there is no alias to file —
+// the raw key IS the canonical key — and the repeat must still ride
+// the no-parse path.
+func TestRawPreKeyCanonicalSpelling(t *testing.T) {
+	ep := NewLocal("c", testStore(t, 10), Limits{CacheBytes: 1 << 20})
+	q, err := sparql.Parse(`SELECT ?s WHERE { ?s a <http://x/Person> . }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	canonical := q.String()
+	first := dump(mustQuery(t, ep, canonical))
+	if d := dump(mustQuery(t, ep, canonical)); d != first {
+		t.Fatal("canonical repeat served different result")
+	}
+	st := ep.Stats()
+	if st.CacheRawHits != 1 || st.CacheHits != 1 || st.CacheMisses != 1 {
+		t.Fatalf("canonical repeat should skip the parse: %+v", st)
+	}
 }

@@ -71,12 +71,15 @@ type Stats struct {
 	Rows     int64
 
 	// CacheHits counts queries served straight from the result cache
-	// (zero evaluation work). CacheMisses counts evaluations triggered
+	// (zero evaluation work). CacheRawHits is the subset of CacheHits
+	// answered by the raw-string pre-key, which also skips the parse +
+	// canonicalization step. CacheMisses counts evaluations triggered
 	// by a cache-enabled query; CacheCoalesced counts queries that
 	// arrived while an identical evaluation was in flight and shared
 	// its outcome instead of evaluating again. CacheEvicted counts
 	// entries dropped to hold the byte budget.
 	CacheHits      int64
+	CacheRawHits   int64
 	CacheMisses    int64
 	CacheEvicted   int64
 	CacheCoalesced int64
@@ -174,8 +177,8 @@ func (l *Local) Stats() Stats {
 	st := l.stats
 	l.mu.Unlock()
 	if l.cache != nil {
-		st.CacheHits, st.CacheMisses, st.CacheEvicted, st.CacheCoalesced,
-			st.CacheBytes, st.CacheEntries = l.cache.counters()
+		st.CacheHits, st.CacheRawHits, st.CacheMisses, st.CacheEvicted,
+			st.CacheCoalesced, st.CacheBytes, st.CacheEntries = l.cache.counters()
 	}
 	return st
 }
@@ -195,23 +198,40 @@ func (l *Local) ResetStats() {
 // intermediate-row budget, and context cancellation. With a result
 // cache configured (Limits.CacheBytes > 0), a repeated query at an
 // unchanged store epoch is served from the cache with zero evaluation
-// work — the hit path is parse, canonicalize, one map probe — and
-// concurrent identical misses coalesce into a single evaluation.
+// work — an exact repeat of a previously answered query string skips
+// even the parse via the raw-string pre-key, textual variants pay one
+// parse + canonicalization and share the entry — and concurrent
+// identical misses coalesce into a single evaluation.
 func (l *Local) Query(ctx context.Context, query string) (*sparql.Results, error) {
 	l.mu.Lock()
 	l.stats.Queries++
 	l.mu.Unlock()
 
+	// Raw-string pre-key: an exact repeat at an unchanged epoch needs
+	// no parsing at all. The probe happens before the parse on purpose;
+	// unparsable strings can never have been filed (aliases are created
+	// only after a successful evaluation), so error behavior for bad
+	// queries is unchanged.
+	var epoch uint64
+	if l.cache != nil {
+		epoch = l.store.Epoch()
+		if res, ok := l.cache.getRaw(cacheKey{query: query, epoch: epoch}); ok {
+			if err := l.simulateLatency(ctx); err != nil {
+				return nil, err
+			}
+			l.mu.Lock()
+			l.stats.Rows += int64(len(res.Rows))
+			l.mu.Unlock()
+			return res, nil
+		}
+	}
+
 	q, err := sparql.Parse(query)
 	if err != nil {
 		return nil, fmt.Errorf("endpoint %s: %w", l.name, err)
 	}
-	if l.limits.Latency > 0 {
-		select {
-		case <-time.After(l.limits.Latency):
-		case <-ctx.Done():
-			return nil, ctx.Err()
-		}
+	if err := l.simulateLatency(ctx); err != nil {
+		return nil, err
 	}
 	var res *sparql.Results
 	if l.cache != nil {
@@ -221,8 +241,10 @@ func (l *Local) Query(ctx context.Context, query string) (*sparql.Results, error
 		// flag below refuses to file a result when a write landed
 		// between the epoch read and the end of evaluation, so a result
 		// computed against newer data is never served for an old epoch.
-		epoch := l.store.Epoch()
-		res, err = l.cache.getOrCompute(ctx, cacheKey{query: q.String(), epoch: epoch},
+		// The epoch from the raw probe above is reused: reading it
+		// earlier can only make the refusal more conservative.
+		key := cacheKey{query: q.String(), epoch: epoch}
+		res, err = l.cache.getOrCompute(ctx, key,
 			func() (*sparql.Results, bool, error) {
 				r, err := l.eval(ctx, q)
 				if err != nil {
@@ -230,6 +252,9 @@ func (l *Local) Query(ctx context.Context, query string) (*sparql.Results, error
 				}
 				return r, l.store.Epoch() == epoch, nil
 			})
+		if err == nil {
+			l.cache.addRawAlias(cacheKey{query: query, epoch: epoch}, key)
+		}
 	} else {
 		res, err = l.eval(ctx, q)
 	}
@@ -240,6 +265,20 @@ func (l *Local) Query(ctx context.Context, query string) (*sparql.Results, error
 	l.stats.Rows += int64(len(res.Rows))
 	l.mu.Unlock()
 	return res, nil
+}
+
+// simulateLatency models the configured network round trip; cache hits
+// pay it too (a result cache saves evaluation, not the wire).
+func (l *Local) simulateLatency(ctx context.Context) error {
+	if l.limits.Latency <= 0 {
+		return nil
+	}
+	select {
+	case <-time.After(l.limits.Latency):
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 }
 
 // eval runs admission control and evaluation for a parsed query — the

@@ -152,7 +152,11 @@ type NumExpr struct{ V float64 }
 // Eval implements Expr.
 func (e NumExpr) Eval(Binding) (Value, error) { return numVal(e.V), nil }
 
-func (e NumExpr) String() string { return strconv.FormatFloat(e.V, 'g', -1, 64) }
+// String formats the constant in plain decimal ('f'), never scientific
+// notation: the canonical query form must re-parse, and the lexer's
+// number production has no exponent syntax (1e+06 would not lex). The
+// -1 precision keeps the shortest representation that round-trips.
+func (e NumExpr) String() string { return strconv.FormatFloat(e.V, 'f', -1, 64) }
 
 // ExprVars implements Expr.
 func (e NumExpr) ExprVars(map[string]bool) {}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"sync"
 
 	"sapphire/internal/rdf"
 )
@@ -15,21 +16,28 @@ import (
 // (datagen, bootstrap, N-Triples ingestion). The loader splits loading
 // into two stages instead:
 //
-//  1. Add/AddAll intern terms into the store's dictionary and buffer the
-//     triples as packed 12-byte ID tuples. The sorted key slices and the
-//     triple indexes are not touched, so nothing here is O(store size).
-//  2. Commit takes the store's write lock once, builds the SPO/POS/OSP
-//     entries for the whole batch with plain appends, and sorts each key
-//     slice that grew exactly once at the end, deduplicating against the
-//     store (and within the batch) and updating the O(1) cardinality
-//     totals in the same pass.
+//  1. Add/AddAll intern terms into the store's shared dictionary and
+//     buffer the triples as packed 12-byte ID tuples. No shard lock is
+//     taken and no index is touched, so staging never stalls a reader
+//     or writer of any shard.
+//  2. Commit partitions the batch by subject shard and commits one
+//     shard at a time: under that shard's write lock it deduplicates
+//     the shard's slice of the batch, builds the three index
+//     permutations with grouped appends, and re-sorts each key slice
+//     that grew exactly once. Readers of a shard never observe a
+//     partially built index, and readers of every other shard are
+//     never blocked at all — the longest stall any reader can see is
+//     one shard's build, roughly 1/shards of the whole batch.
 //
-// Readers are safe throughout: staging only appends to the dictionary
-// (published atomically, exactly as Add does), so a concurrent Match
-// observes the store without the staged triples until Commit's write
-// lock releases, and never a partially built index. Interleaving online
-// Add calls with a staged load is also safe; whichever inserts a triple
-// first wins the dedup.
+// On a multi-shard store a commit is therefore atomic per shard, not
+// per batch: a concurrent reader running a wildcard-subject query may
+// observe a prefix of the batch (the shards committed so far). Callers
+// that need strict all-at-once batch visibility must use a 1-shard
+// store (NewSharded(1)), which commits everything under its single
+// write lock exactly like the pre-sharding implementation.
+//
+// Interleaving online Add calls with a staged load is safe; whichever
+// inserts a triple first wins the dedup.
 //
 // A loader is safe for concurrent use by multiple goroutines and can be
 // reused: Commit drains the buffer, so alternating Add/Commit phases
@@ -45,9 +53,14 @@ import (
 type BulkLoader struct {
 	s *Store
 
+	// mu guards buf and autoCommit; the loader deliberately has its own
+	// lock so staging contends with nothing but other stagers.
+	mu sync.Mutex
+
 	// buf holds the staged triples as packed ID tuples, in arrival
-	// order. Commit preserves this order for the innermost index slices,
-	// so a bulk load is observationally identical to sequential Add.
+	// order. Commit preserves this order per shard when building the
+	// SPO/OSP innermost slices, so a bulk load into a 1-shard store is
+	// observationally identical to sequential Add.
 	buf [][3]ID
 
 	// autoCommit is the staged-triple count at which Add/AddAll commit
@@ -71,9 +84,9 @@ func NewBulkLoader(s *Store) *BulkLoader {
 // the unbounded stage-until-Commit behavior (the caller then owns the
 // buffer growth).
 func (l *BulkLoader) SetAutoCommitThreshold(n int) {
-	l.s.mu.Lock()
+	l.mu.Lock()
 	l.autoCommit = n
-	l.s.mu.Unlock()
+	l.mu.Unlock()
 }
 
 // Add stages one triple. It returns an error if the triple violates RDF
@@ -83,12 +96,11 @@ func (l *BulkLoader) Add(tr rdf.Triple) error {
 	if !tr.Valid() {
 		return fmt.Errorf("store: invalid triple %s", tr)
 	}
-	s := l.s
-	s.mu.Lock()
-	key := [3]ID{s.dict.intern(tr.S), s.dict.intern(tr.P), s.dict.intern(tr.O)}
-	l.buf = append(l.buf, key)
+	si, pi, oi := l.s.dict.internTriple(tr)
+	l.mu.Lock()
+	l.buf = append(l.buf, [3]ID{si, pi, oi})
 	l.maybeAutoCommitLocked()
-	s.mu.Unlock()
+	l.mu.Unlock()
 	return nil
 }
 
@@ -100,26 +112,29 @@ func (l *BulkLoader) MustAdd(tr rdf.Triple) {
 	}
 }
 
-// AddAll stages all triples under one lock acquisition, stopping at the
-// first invalid one (triples before it remain staged).
+// AddAll stages all triples, stopping at the first invalid one (triples
+// before it remain staged). Interning batches under one dictionary lock
+// acquisition per chunk.
 func (l *BulkLoader) AddAll(triples []rdf.Triple) error {
-	s := l.s
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	d := l.s.dict
 	for _, tr := range triples {
 		if !tr.Valid() {
 			return fmt.Errorf("store: invalid triple %s", tr)
 		}
-		l.buf = append(l.buf, [3]ID{s.dict.intern(tr.S), s.dict.intern(tr.P), s.dict.intern(tr.O)})
+		si, pi, oi := d.internTriple(tr)
+		l.buf = append(l.buf, [3]ID{si, pi, oi})
 		l.maybeAutoCommitLocked()
 	}
 	return nil
 }
 
 // maybeAutoCommitLocked commits inline when the staged buffer has
-// reached the auto-commit threshold. Caller must hold the store write
-// lock; the commit reuses it, so concurrent readers observe the flushed
-// batch all-or-nothing exactly as with an explicit Commit.
+// reached the auto-commit threshold. Caller must hold l.mu; the commit
+// takes shard write locks one at a time, so concurrent readers observe
+// each shard's slice of the flushed batch all-or-nothing exactly as
+// with an explicit Commit.
 func (l *BulkLoader) maybeAutoCommitLocked() {
 	if l.autoCommit > 0 && len(l.buf) >= l.autoCommit {
 		l.commitLocked()
@@ -129,41 +144,71 @@ func (l *BulkLoader) maybeAutoCommitLocked() {
 // Pending returns the number of staged (not yet committed) triples,
 // counting duplicates — dedup happens at Commit.
 func (l *BulkLoader) Pending() int {
-	l.s.mu.RLock()
-	defer l.s.mu.RUnlock()
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	return len(l.buf)
 }
 
 // Commit publishes every staged triple into the store and drains the
 // buffer, returning how many were new (staged duplicates and triples
-// already present don't count). It holds the write lock for the whole
-// build: concurrent readers block for the duration and then observe the
-// complete batch — never a partially built index.
+// already present don't count). The batch is partitioned by subject
+// shard and committed shard by shard; see the type comment for the
+// visibility contract.
 func (l *BulkLoader) Commit() int {
-	s := l.s
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	return l.commitLocked()
 }
 
-// commitLocked is Commit's body; caller must hold the store write lock.
+// commitLocked is Commit's body; caller must hold l.mu.
 func (l *BulkLoader) commitLocked() int {
 	s := l.s
-	fresh := make([][3]ID, 0, len(l.buf))
-	for _, k := range l.buf {
-		if _, dup := s.present[k]; dup {
+	if len(l.buf) == 0 {
+		return 0
+	}
+	// The snapshot is taken after every staged term was interned, so it
+	// covers every ID in the batch.
+	terms := s.dict.snapshot()
+	fresh := 0
+	if len(s.shards) == 1 {
+		fresh = s.shards[0].commitBatch(terms, l.buf)
+	} else {
+		// Partition by shard, preserving arrival order within each.
+		parts := make([][][3]ID, len(s.shards))
+		for _, k := range l.buf {
+			i := s.shardIndex(k[0])
+			parts[i] = append(parts[i], k)
+		}
+		for i, part := range parts {
+			if len(part) == 0 {
+				continue
+			}
+			fresh += s.shards[i].commitBatch(terms, part)
+		}
+	}
+	l.buf = l.buf[:0]
+	return fresh
+}
+
+// commitBatch publishes one shard's slice of a staged batch under that
+// shard's write lock and returns how many triples were new.
+func (sh *shard) commitBatch(terms []rdf.Term, batch [][3]ID) int {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	fresh := make([][3]ID, 0, len(batch))
+	for _, k := range batch {
+		if _, dup := sh.present[k]; dup {
 			continue
 		}
-		s.present[k] = struct{}{}
+		sh.present[k] = struct{}{}
 		fresh = append(fresh, k)
 	}
-	s.size += len(fresh)
-	s.spo.bulkBuild(s.dict, fresh, 0, 1, 2)
-	s.pos.bulkBuild(s.dict, fresh, 1, 2, 0)
-	s.osp.bulkBuild(s.dict, fresh, 2, 0, 1)
-	l.buf = l.buf[:0]
+	sh.size += len(fresh)
+	sh.spo.bulkBuild(terms, fresh, 0, 1, 2)
+	sh.pos.bulkBuild(terms, fresh, 1, 2, 0)
+	sh.osp.bulkBuild(terms, fresh, 2, 0, 1)
 	if len(fresh) > 0 {
-		s.epoch.Add(1)
+		sh.epoch.Add(1)
 	}
 	return len(fresh)
 }
@@ -211,9 +256,10 @@ func LoadNTriples(s *Store, r io.Reader) error {
 // probed once per run instead of once per triple, new innermost slices
 // are allocated at exact size, and the arrival-order tiebreaker keeps
 // the innermost insertion order identical to sequential Add. Each key
-// slice that grew is re-sorted exactly once. Runs under the store write
-// lock, so the transient unsorted tails are never observable.
-func (x *index) bulkBuild(d *dict, fresh [][3]ID, ai, bi, ci int) {
+// slice that grew is re-sorted exactly once, as is (for sortedInner
+// indexes) each innermost list that grew. Runs under the owning shard's
+// write lock, so the transient unsorted tails are never observable.
+func (x *index) bulkBuild(terms []rdf.Term, fresh [][3]ID, ai, bi, ci int) {
 	rows := make([][4]ID, len(fresh))
 	for i, k := range fresh {
 		rows[i] = [4]ID{k[ai], k[bi], k[ci], ID(i)}
@@ -253,17 +299,21 @@ func (x *index) bulkBuild(d *dict, fresh [][3]ID, ai, bi, ci int) {
 				e.keys = append(e.keys, b)
 				lst = make([]ID, 0, m-k)
 			}
+			innerOrig := len(lst)
 			for t := k; t < m; t++ {
 				lst = append(lst, rows[t][2])
+			}
+			if x.sortedInner {
+				mergeTail(terms, lst, innerOrig)
 			}
 			e.m[b] = lst
 			e.total += m - k
 			k = m
 		}
-		mergeTail(d, e.keys, l2orig)
+		mergeTail(terms, e.keys, l2orig)
 		i = j
 	}
-	mergeTail(d, x.keys, l1orig)
+	mergeTail(terms, x.keys, l1orig)
 }
 
 // smallTail is the appended-key count below which mergeTail inserts
@@ -276,20 +326,20 @@ const smallTail = 16
 // elements are sorted and whose tail was appended unsorted during a
 // bulk build. Large tails (a real bulk load) sort the whole slice once;
 // small tails binary-search-insert each appended key in place.
-func mergeTail(d *dict, keys []ID, orig int) {
+func mergeTail(terms []rdf.Term, keys []ID, orig int) {
 	tail := len(keys) - orig
 	if tail == 0 {
 		return
 	}
 	if tail > smallTail || orig == 0 {
-		sortKeys(d, keys)
+		sortKeys(terms, keys)
 		return
 	}
 	for i := orig; i < len(keys); i++ {
 		id := keys[i]
-		t := d.terms[id]
+		t := terms[id]
 		j := sort.Search(i, func(k int) bool {
-			return d.terms[keys[k]].Compare(t) >= 0
+			return terms[keys[k]].Compare(t) >= 0
 		})
 		copy(keys[j+1:i+1], keys[j:i])
 		keys[j] = id
@@ -298,8 +348,8 @@ func mergeTail(d *dict, keys []ID, orig int) {
 
 // sortKeys sorts an ID slice by term order, the same order insertSorted
 // maintains incrementally.
-func sortKeys(d *dict, keys []ID) {
+func sortKeys(terms []rdf.Term, keys []ID) {
 	sort.Slice(keys, func(i, j int) bool {
-		return d.terms[keys[i]].Compare(d.terms[keys[j]]) < 0
+		return terms[keys[i]].Compare(terms[keys[j]]) < 0
 	})
 }

@@ -2,6 +2,7 @@ package store
 
 import (
 	"sort"
+	"sync"
 	"sync/atomic"
 
 	"sapphire/internal/rdf"
@@ -22,12 +23,18 @@ type ID = uint32
 const Wildcard ID = 0
 
 // dict is the two-way term dictionary: a term→ID hash for interning and
-// an ID→term slice for O(1) resolution. The Store's mutex guards the
-// term→ID map and all mutation; the ID→term direction is additionally
-// published through an atomic snapshot so resolution never needs a lock
-// (see termSnapshot), which lets evaluator callbacks running inside a
-// MatchIDs read-lock resolve IDs without re-acquiring the mutex.
+// an ID→term slice for O(1) resolution. The dictionary is shared by all
+// of a store's shards and carries its own mutex: interning locks the
+// dictionary only, never any shard, so staging terms for a bulk load on
+// one shard cannot stall a reader or writer of another.
+//
+// The ID→term direction is additionally published through an atomic
+// snapshot so resolution never needs a lock (see termSnapshot), which
+// lets evaluator callbacks running inside a MatchIDs read-lock resolve
+// IDs without re-acquiring any mutex, and lets per-shard index
+// maintenance compare terms without racing concurrent interning.
 type dict struct {
+	mu    sync.RWMutex
 	ids   map[rdf.Term]ID
 	terms []rdf.Term // terms[0] is the zero Term, backing Wildcard
 
@@ -47,14 +54,32 @@ func newDict() *dict {
 	return d
 }
 
+// publish must be called with d.mu held.
 func (d *dict) publish() {
 	terms := d.terms
 	d.snap.Store(&terms)
 }
 
 // intern returns the ID for t, assigning the next dense ID on first
-// sight. Caller must hold the store write lock.
+// sight.
 func (d *dict) intern(t rdf.Term) ID {
+	d.mu.Lock()
+	id := d.internLocked(t)
+	d.mu.Unlock()
+	return id
+}
+
+// internTriple interns all three positions under one lock acquisition.
+func (d *dict) internTriple(tr rdf.Triple) (si, pi, oi ID) {
+	d.mu.Lock()
+	si = d.internLocked(tr.S)
+	pi = d.internLocked(tr.P)
+	oi = d.internLocked(tr.O)
+	d.mu.Unlock()
+	return si, pi, oi
+}
+
+func (d *dict) internLocked(t rdf.Term) ID {
 	if id, ok := d.ids[t]; ok {
 		return id
 	}
@@ -67,37 +92,46 @@ func (d *dict) intern(t rdf.Term) ID {
 
 // lookup returns the ID for t without interning.
 func (d *dict) lookup(t rdf.Term) (ID, bool) {
+	d.mu.RLock()
 	id, ok := d.ids[t]
+	d.mu.RUnlock()
 	return id, ok
 }
 
-// term resolves an ID back to its term. Unknown IDs (including Wildcard)
-// resolve to the zero Term. Caller must hold the store lock; lock-free
-// callers use termSnapshot.
-func (d *dict) term(id ID) rdf.Term {
-	if int(id) < len(d.terms) {
-		return d.terms[id]
-	}
-	return rdf.Term{}
+// snapshot returns the last published ID→term slice. The slice is
+// immutable; indexing it by any ID published before the snapshot was
+// taken is race-free without locks.
+func (d *dict) snapshot() []rdf.Term {
+	return *d.snap.Load()
 }
 
 // termSnapshot resolves an ID against the last published snapshot
 // without locking. Safe to call concurrently with interning and from
 // within Match/MatchIDs callbacks.
 func (d *dict) termSnapshot(id ID) rdf.Term {
-	terms := *d.snap.Load()
+	terms := d.snapshot()
 	if int(id) < len(terms) {
 		return terms[id]
 	}
 	return rdf.Term{}
 }
 
-// index is one permutation of the triple indexes (SPO, POS, or OSP): a
-// level-one key → entry map plus the level-one keys maintained in term
-// order so wildcard iteration never sorts.
+// index is one permutation of a shard's triple indexes (SPO, POS, or
+// OSP): a level-one key → entry map plus the level-one keys maintained
+// in term order so wildcard iteration never sorts.
+//
+// sortedInner additionally keeps the innermost ID lists term-sorted
+// (the POS permutation sets it). That is what makes the cross-shard
+// wildcard-subject fan-out a pure k-way merge: subjects are partitioned
+// across shards, so per-shard subject lists for a (predicate, object)
+// pair are disjoint sorted runs that merge deterministically in term
+// order — no global arrival clock required. SPO and OSP leave their
+// innermost lists in insertion order; their inner levels never span
+// shards (the level that varies is the subject, which picks the shard).
 type index struct {
-	m    map[ID]*entry
-	keys []ID // level-one keys, term-sorted
+	m           map[ID]*entry
+	keys        []ID // level-one keys, term-sorted
+	sortedInner bool
 }
 
 // entry is one level-one slot of an index: level-two key → level-three ID
@@ -109,33 +143,39 @@ type entry struct {
 	total int
 }
 
-func newIndex() index {
-	return index{m: make(map[ID]*entry)}
+func newIndex(sortedInner bool) index {
+	return index{m: make(map[ID]*entry), sortedInner: sortedInner}
 }
 
 // add records the (a, b, c) path in the index. The caller guarantees the
-// triple is new (the store dedups via the present set), so c is appended
-// unconditionally. Key slices are maintained sorted by term order with a
-// binary-search insertion: Add is the cold path, Match the hot one.
-func (x *index) add(d *dict, a, b, c ID) {
+// triple is new (the shard dedups via its present set), so c is appended
+// (or, with sortedInner, insertion-sorted) unconditionally. Key slices
+// are maintained sorted by term order with a binary-search insertion:
+// Add is the cold path, Match the hot one. terms is a dictionary
+// snapshot covering every ID involved.
+func (x *index) add(terms []rdf.Term, a, b, c ID) {
 	e := x.m[a]
 	if e == nil {
 		e = &entry{m: make(map[ID][]ID)}
 		x.m[a] = e
-		x.keys = insertSorted(d, x.keys, a)
+		x.keys = insertSorted(terms, x.keys, a)
 	}
 	if _, ok := e.m[b]; !ok {
-		e.keys = insertSorted(d, e.keys, b)
+		e.keys = insertSorted(terms, e.keys, b)
 	}
-	e.m[b] = append(e.m[b], c)
+	if x.sortedInner {
+		e.m[b] = insertSorted(terms, e.m[b], c)
+	} else {
+		e.m[b] = append(e.m[b], c)
+	}
 	e.total++
 }
 
 // insertSorted inserts id into keys keeping term order.
-func insertSorted(d *dict, keys []ID, id ID) []ID {
-	t := d.terms[id]
+func insertSorted(terms []rdf.Term, keys []ID, id ID) []ID {
+	t := terms[id]
 	i := sort.Search(len(keys), func(i int) bool {
-		return d.terms[keys[i]].Compare(t) >= 0
+		return terms[keys[i]].Compare(t) >= 0
 	})
 	keys = append(keys, 0)
 	copy(keys[i+1:], keys[i:])

@@ -65,11 +65,7 @@ func TestMatchIDsAgainstMatch(t *testing.T) {
 	}
 	for _, pat := range patterns {
 		want := s.MatchSlice(pat[0], pat[1], pat[2])
-		si, pi, oi, ok := func() (ID, ID, ID, bool) {
-			s.mu.RLock()
-			defer s.mu.RUnlock()
-			return s.patternIDs(pat[0], pat[1], pat[2])
-		}()
+		si, pi, oi, ok := s.patternIDs(pat[0], pat[1], pat[2])
 		if !ok {
 			t.Fatalf("patternIDs(%v) not resolvable", pat)
 		}
@@ -162,17 +158,25 @@ func TestSortedKeyInvariant(t *testing.T) {
 	}
 	checkSorted("Subjects", s.Subjects())
 	checkSorted("Predicates", s.Predicates())
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	for _, x := range []struct {
-		name string
-		idx  index
-	}{{"spo", s.spo}, {"pos", s.pos}, {"osp", s.osp}} {
-		checkSorted(x.name+" level-1", s.resolveAll(x.idx.keys))
-		for id, e := range x.idx.m {
-			checkSorted(x.name+" level-2", s.resolveAll(e.keys))
-			if len(e.keys) != len(e.m) {
-				t.Fatalf("%s entry %d: %d keys vs %d map entries", x.name, id, len(e.keys), len(e.m))
+	s.rlockAll()
+	defer s.runlockAll()
+	for _, sh := range s.shards {
+		for _, x := range []struct {
+			name string
+			idx  index
+		}{{"spo", sh.spo}, {"pos", sh.pos}, {"osp", sh.osp}} {
+			checkSorted(x.name+" level-1", s.resolveAll(x.idx.keys))
+			for id, e := range x.idx.m {
+				checkSorted(x.name+" level-2", s.resolveAll(e.keys))
+				if len(e.keys) != len(e.m) {
+					t.Fatalf("%s entry %d: %d keys vs %d map entries", x.name, id, len(e.keys), len(e.m))
+				}
+				if x.idx.sortedInner {
+					for b, lst := range e.m {
+						checkSorted(x.name+" innermost", s.resolveAll(lst))
+						_ = b
+					}
+				}
 			}
 		}
 	}

@@ -14,11 +14,37 @@
 // shrinks the per-triple footprint, turns every index probe into an
 // integer hash, and makes triple materialization a slice lookup.
 //
-// Deterministic wildcard iteration used to re-sort the key set of a map on
-// every Match/Count call; the ID indexes instead maintain their key slices
-// incrementally sorted (insertion-sorted on Add, the cold path), so a
-// wildcard walk is an amortized O(1)-per-result sweep with no per-call
-// sort.
+// # Sharding
+//
+// The store is horizontally partitioned into N shards (New defaults N to
+// GOMAXPROCS via DefaultShards; NewSharded pins it; the serving commands
+// expose -shards). A triple lives in exactly one shard, chosen by a
+// multiplicative hash of its subject ID; each shard owns its own three
+// index permutations, RWMutex, dedup set, and mutation epoch, while the
+// dictionary stays global (append-only, own lock, lock-free resolution).
+// There is no store-wide lock of any kind:
+//
+//   - Subject-bound reads and single-triple writes touch one shard.
+//   - Wildcard-subject reads take every shard's read lock (fixed order)
+//     and merge the per-shard streams in term-sorted order. Subjects are
+//     partitioned, so subject-level streams are disjoint sorted runs; the
+//     POS permutation additionally keeps its innermost (subject) lists
+//     term-sorted so (?s P O) and (?s P ?o) merge the same way. The
+//     result: iteration order is byte-identical for every shard count
+//     (pinned by TestShardEquivalence).
+//   - BulkLoader.Commit partitions the batch by subject shard and
+//     commits shard by shard, so a large load stalls readers of any one
+//     shard for ~1/N of the build and readers of untouched shards not at
+//     all (BenchmarkCommitReadStall measures it). The cost: on a
+//     multi-shard store a commit is atomic per shard, not per batch — a
+//     concurrent wildcard reader can observe a batch prefix. Callers
+//     needing strict whole-batch visibility use NewSharded(1), which
+//     behaves exactly like the pre-sharding store.
+//
+// Store.Epoch is the sum of per-shard epochs: it still moves iff the
+// triple set changed, so the endpoint result cache and federation
+// invalidation work unchanged (a multi-shard commit may advance it once
+// per touched shard rather than once per batch).
 //
 // # ID-level API contract
 //
@@ -29,7 +55,7 @@
 //	id, ok := st.Lookup(term)          // term → ID, no interning
 //	term := st.ResolveID(id)           // ID → term, O(1), lock-free
 //	st.MatchIDs(s, p, o, fn)           // pattern match over IDs
-//	st.CountIDs(s, p, o)               // exact count, O(1) for all shapes
+//	st.CountIDs(s, p, o)               // exact count, O(shards) for all shapes
 //	st.CardinalityEstimateIDs(s, p, o) // same, for cost models
 //
 // The contract every consumer (and every future index) must respect:
@@ -44,21 +70,22 @@
 //     successful Lookup) may exist for a term whose triples are still
 //     staged in a BulkLoader, or were never committed at all — pattern
 //     matches and counts for such a term are simply empty.
-//   - Match/MatchIDs callbacks run under the store's read lock. They
-//     must not mutate the store and must not call locking accessors
-//     (Lookup, Count, ...); once a writer queues on the RWMutex, a
-//     nested RLock deadlocks. ResolveID is the exception: it reads an
-//     atomic snapshot of the append-only ID→term slice and never takes
-//     the lock, precisely so callbacks can resolve terms mid-iteration.
+//   - Match/MatchIDs callbacks run under shard read locks (one shard
+//     for subject-bound patterns, all shards for wildcard-subject
+//     ones). They must not mutate the store and must not call locking
+//     accessors (Lookup, Count, ...); once a writer queues on a shard's
+//     RWMutex, a nested RLock deadlocks. ResolveID is the exception: it
+//     reads an atomic snapshot of the append-only ID→term slice and
+//     never takes a lock, precisely so callbacks can resolve terms
+//     mid-iteration.
 //
 // # Bulk loading
 //
 // Add keeps the sorted-key invariant with a binary-search insertion —
 // an O(n) memmove per new key, fine online, quadratic-ish for loading
 // datasets. BulkLoader (bulk.go) is the staged path: Add/AddAll intern
-// and buffer packed ID triples, Commit builds all three indexes for the
-// batch grouped by key and sorts each touched key slice exactly once.
-// Commit holds the write lock for the whole build, so concurrent
-// readers never observe a partially built index; Store.AddAll routes
-// through it automatically.
+// and buffer packed ID triples without taking any shard lock, Commit
+// builds each shard's indexes for the batch grouped by key and sorts
+// each touched key slice exactly once, under that shard's write lock.
+// Store.AddAll routes through it automatically.
 package store

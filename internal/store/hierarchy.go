@@ -22,14 +22,18 @@ type ClassHierarchy struct {
 // edges. The paper notes ~75% of LOD datasets do; the rest fall back to
 // the rdf:type frequency strategy (Q3/Q7).
 func (s *Store) HasHierarchy() bool {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	sub, ok := s.dict.lookup(rdf.NewIRI(rdf.RDFSSubClassOf))
 	if !ok {
 		return false
 	}
-	e := s.pos.m[sub]
-	return e != nil && e.total > 0
+	s.rlockAll()
+	defer s.runlockAll()
+	for _, sh := range s.shards {
+		if e := sh.pos.m[sub]; e != nil && e.total > 0 {
+			return true
+		}
+	}
+	return false
 }
 
 // Hierarchy extracts the class hierarchy from rdfs:subClassOf triples

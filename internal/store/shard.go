@@ -1,0 +1,215 @@
+package store
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"sapphire/internal/rdf"
+)
+
+// shard is one horizontal partition of a Store. A triple lives in
+// exactly one shard, chosen by a hash of its subject ID, and the shard
+// owns everything needed to serve and mutate its slice of the dataset
+// independently: the three index permutations, the dedup set, the size
+// counter, an RWMutex, and a mutation epoch. Nothing in a shard is ever
+// touched under another shard's lock, which is what removes the store's
+// last global serialization point — a bulk commit builds one shard's
+// indexes while readers and writers of every other shard proceed.
+type shard struct {
+	mu sync.RWMutex
+
+	// epoch counts committed mutations of this shard, bumped under the
+	// write lock (before it releases) whenever the shard's triple set
+	// actually changes. Store.Epoch sums these; see there for the
+	// ordering contract.
+	epoch atomic.Uint64
+
+	// Index permutations over dictionary IDs. POS keeps its innermost
+	// (subject) lists term-sorted so wildcard-subject fan-outs merge
+	// across shards; see index.sortedInner.
+	spo index
+	pos index
+	osp index
+
+	// present deduplicates this shard's triples as packed ID triples.
+	present map[[3]ID]struct{}
+
+	size int
+}
+
+func newShard() *shard {
+	return &shard{
+		spo:     newIndex(false),
+		pos:     newIndex(true),
+		osp:     newIndex(false),
+		present: make(map[[3]ID]struct{}),
+	}
+}
+
+// matchLocked walks the narrowest index for the pattern shape within
+// this shard. Wildcard positions iterate the incrementally maintained
+// term-sorted key slices, so no per-call sorting happens anywhere on
+// this path. Caller must hold the shard's read or write lock. On a
+// multi-shard store only subject-bound shapes route here; the wildcard-
+// subject shapes go through the Store-level merge instead (which calls
+// this only in the single-shard fast path).
+func (sh *shard) matchLocked(sub, pred, obj ID, fn func(a, b, c ID) bool) {
+	switch {
+	case sub != Wildcard && pred != Wildcard && obj != Wildcard:
+		if _, ok := sh.present[[3]ID{sub, pred, obj}]; ok {
+			fn(sub, pred, obj)
+		}
+	case sub != Wildcard && obj != Wildcard:
+		// (S ? O): probe OSP for exactly the predicates linking the pair
+		// instead of filtering the subject's whole out-edge set.
+		e := sh.osp.m[obj]
+		if e == nil {
+			return
+		}
+		for _, p := range e.m[sub] {
+			if !fn(sub, p, obj) {
+				return
+			}
+		}
+	case sub != Wildcard:
+		e := sh.spo.m[sub]
+		if e == nil {
+			return
+		}
+		if pred != Wildcard {
+			for _, o := range e.m[pred] {
+				if !fn(sub, pred, o) {
+					return
+				}
+			}
+			return
+		}
+		for _, p := range e.keys {
+			for _, o := range e.m[p] {
+				if !fn(sub, p, o) {
+					return
+				}
+			}
+		}
+	case pred != Wildcard:
+		e := sh.pos.m[pred]
+		if e == nil {
+			return
+		}
+		if obj != Wildcard {
+			for _, sb := range e.m[obj] {
+				if !fn(sb, pred, obj) {
+					return
+				}
+			}
+			return
+		}
+		for _, o := range e.keys {
+			for _, sb := range e.m[o] {
+				if !fn(sb, pred, o) {
+					return
+				}
+			}
+		}
+	case obj != Wildcard:
+		e := sh.osp.m[obj]
+		if e == nil {
+			return
+		}
+		for _, sb := range e.keys {
+			for _, p := range e.m[sb] {
+				if !fn(sb, p, obj) {
+					return
+				}
+			}
+		}
+	default:
+		// Full scan: iterate SPO deterministically.
+		sh.scanLocked(fn)
+	}
+}
+
+// scanLocked iterates every triple of the shard in SPO index order.
+func (sh *shard) scanLocked(fn func(a, b, c ID) bool) bool {
+	for _, sb := range sh.spo.keys {
+		if !sh.scanSubjectLocked(sb, fn) {
+			return false
+		}
+	}
+	return true
+}
+
+// scanSubjectLocked iterates every triple of one subject (which lives
+// entirely in this shard) in index order.
+func (sh *shard) scanSubjectLocked(sb ID, fn func(a, b, c ID) bool) bool {
+	e := sh.spo.m[sb]
+	if e == nil {
+		return true
+	}
+	for _, p := range e.keys {
+		for _, o := range e.m[p] {
+			if !fn(sb, p, o) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// countLocked answers every pattern shape from this shard's index
+// metadata: the present set for fully bound patterns, innermost slice
+// lengths for two-bound patterns, and per-entry totals for one-bound
+// patterns. Caller must hold the shard lock.
+func (sh *shard) countLocked(sub, pred, obj ID) int {
+	switch {
+	case sub != Wildcard && pred != Wildcard && obj != Wildcard:
+		if _, ok := sh.present[[3]ID{sub, pred, obj}]; ok {
+			return 1
+		}
+		return 0
+	case sub != Wildcard && pred != Wildcard:
+		if e := sh.spo.m[sub]; e != nil {
+			return len(e.m[pred])
+		}
+		return 0
+	case sub != Wildcard && obj != Wildcard:
+		if e := sh.osp.m[obj]; e != nil {
+			return len(e.m[sub])
+		}
+		return 0
+	case sub != Wildcard:
+		if e := sh.spo.m[sub]; e != nil {
+			return e.total
+		}
+		return 0
+	case pred != Wildcard && obj != Wildcard:
+		if e := sh.pos.m[pred]; e != nil {
+			return len(e.m[obj])
+		}
+		return 0
+	case pred != Wildcard:
+		if e := sh.pos.m[pred]; e != nil {
+			return e.total
+		}
+		return 0
+	case obj != Wildcard:
+		if e := sh.osp.m[obj]; e != nil {
+			return e.total
+		}
+		return 0
+	default:
+		return sh.size
+	}
+}
+
+// addLocked inserts a fresh (non-duplicate, pre-checked) triple into the
+// shard's three indexes and bumps the counters. Caller must hold the
+// shard write lock and have verified the triple is not in present.
+func (sh *shard) addLocked(terms []rdf.Term, si, pi, oi ID) {
+	sh.present[[3]ID{si, pi, oi}] = struct{}{}
+	sh.spo.add(terms, si, pi, oi)
+	sh.pos.add(terms, pi, oi, si)
+	sh.osp.add(terms, oi, si, pi)
+	sh.size++
+	sh.epoch.Add(1)
+}

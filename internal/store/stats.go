@@ -15,13 +15,21 @@ type PredicateFrequency struct {
 
 // PredicateFrequencies returns all predicates ordered by descending triple
 // count (ties broken by term order), mirroring initialization query Q1.
-// Per-predicate totals are maintained on Add, so this is O(#predicates).
+// Per-predicate totals are maintained per shard on insert, so this is
+// O(#predicates × #shards).
 func (s *Store) PredicateFrequencies() []PredicateFrequency {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make([]PredicateFrequency, 0, len(s.pos.m))
-	for p, e := range s.pos.m {
-		out = append(out, PredicateFrequency{Predicate: s.dict.term(p), Count: e.total})
+	s.rlockAll()
+	defer s.runlockAll()
+	terms := s.dict.snapshot()
+	totals := make(map[ID]int)
+	for _, sh := range s.shards {
+		for p, e := range sh.pos.m {
+			totals[p] += e.total
+		}
+	}
+	out := make([]PredicateFrequency, 0, len(totals))
+	for p, n := range totals {
+		out = append(out, PredicateFrequency{Predicate: terms[p], Count: n})
 	}
 	sortFreq(out)
 	return out
@@ -31,18 +39,23 @@ func (s *Store) PredicateFrequencies() []PredicateFrequency {
 // literal object, ordered by descending count of literal objects. This is
 // initialization query Q4 (FILTER isliteral(?o)).
 func (s *Store) LiteralPredicateFrequencies() []PredicateFrequency {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make([]PredicateFrequency, 0, len(s.pos.m))
-	for p, e := range s.pos.m {
-		n := 0
-		for o, subs := range e.m {
-			if s.dict.term(o).IsLiteral() {
-				n += len(subs)
+	s.rlockAll()
+	defer s.runlockAll()
+	terms := s.dict.snapshot()
+	counts := make(map[ID]int)
+	for _, sh := range s.shards {
+		for p, e := range sh.pos.m {
+			for o, subs := range e.m {
+				if terms[o].IsLiteral() {
+					counts[p] += len(subs)
+				}
 			}
 		}
+	}
+	out := make([]PredicateFrequency, 0, len(counts))
+	for p, n := range counts {
 		if n > 0 {
-			out = append(out, PredicateFrequency{Predicate: s.dict.term(p), Count: n})
+			out = append(out, PredicateFrequency{Predicate: terms[p], Count: n})
 		}
 	}
 	sortFreq(out)
@@ -53,19 +66,29 @@ func (s *Store) LiteralPredicateFrequencies() []PredicateFrequency {
 // subjects carry them — initialization query Q3 for datasets without an
 // RDFS hierarchy.
 func (s *Store) TypeFrequencies() []PredicateFrequency {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	typ, ok := s.dict.lookup(rdf.NewIRI(rdf.RDFType))
 	if !ok {
 		return nil
 	}
-	e := s.pos.m[typ]
-	if e == nil {
+	s.rlockAll()
+	defer s.runlockAll()
+	terms := s.dict.snapshot()
+	counts := make(map[ID]int)
+	for _, sh := range s.shards {
+		e := sh.pos.m[typ]
+		if e == nil {
+			continue
+		}
+		for o, subs := range e.m {
+			counts[o] += len(subs)
+		}
+	}
+	if len(counts) == 0 {
 		return nil
 	}
-	out := make([]PredicateFrequency, 0, len(e.m))
-	for o, subs := range e.m {
-		out = append(out, PredicateFrequency{Predicate: s.dict.term(o), Count: len(subs)})
+	out := make([]PredicateFrequency, 0, len(counts))
+	for o, n := range counts {
+		out = append(out, PredicateFrequency{Predicate: terms[o], Count: n})
 	}
 	sortFreq(out)
 	return out
@@ -82,33 +105,40 @@ func sortFreq(fs []PredicateFrequency) {
 
 // DistinctLiterals returns the number of distinct literal terms, one of
 // the dataset-scale statistics the paper reports (DBpedia: ~70M literals
-// vs ~3K predicates).
+// vs ~3K predicates). The same literal can be an object in several
+// shards, so the per-shard OSP key sets are deduplicated by ID.
 func (s *Store) DistinctLiterals() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	n := 0
-	for _, o := range s.osp.keys {
-		if s.dict.term(o).IsLiteral() {
-			n++
+	s.rlockAll()
+	defer s.runlockAll()
+	terms := s.dict.snapshot()
+	seen := make(map[ID]struct{})
+	for _, sh := range s.shards {
+		for _, o := range sh.osp.keys {
+			if terms[o].IsLiteral() {
+				seen[o] = struct{}{}
+			}
 		}
 	}
-	return n
+	return len(seen)
 }
 
 // IncomingEdgeCount returns the number of triples whose object is the
 // given term — the inner quantity of Definition 1 (literal significance).
-// The per-object total is maintained on Add, so this is O(1).
+// The per-object total is maintained on insert, so this is O(shards).
 func (s *Store) IncomingEdgeCount(o rdf.Term) int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	oi, ok := s.dict.lookup(o)
 	if !ok {
 		return 0
 	}
-	if e := s.osp.m[oi]; e != nil {
-		return e.total
+	s.rlockAll()
+	defer s.runlockAll()
+	n := 0
+	for _, sh := range s.shards {
+		if e := sh.osp.m[oi]; e != nil {
+			n += e.total
+		}
 	}
-	return 0
+	return n
 }
 
 // LiteralSignificance computes S(l) from Definition 1 for every literal:
@@ -116,27 +146,32 @@ func (s *Store) IncomingEdgeCount(o rdf.Term) int {
 // That is, a literal inherits the incoming-edge count of the entities it
 // describes. The result maps literal terms to their significance score.
 func (s *Store) LiteralSignificance() map[rdf.Term]int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	s.rlockAll()
+	defer s.runlockAll()
+	terms := s.dict.snapshot()
+	// Pass 1: total in-degree per entity, summed across shards (an
+	// entity can be an object in any shard).
+	in := make(map[ID]int)
+	for _, sh := range s.shards {
+		for o, e := range sh.osp.m {
+			if e.total == 0 || terms[o].IsLiteral() {
+				continue
+			}
+			in[o] += e.total
+		}
+	}
+	// Pass 2: every entity's out-edges live wholly in its subject shard;
+	// add its in-degree to each literal it points at.
 	sig := make(map[rdf.Term]int)
-	// For each entity o with incoming edges, add its in-degree to every
-	// literal l attached to o. The SPO and OSP indexes share one
-	// dictionary, so the object ID doubles as the subject probe.
-	for o, in := range s.osp.m {
-		if s.dict.term(o).IsLiteral() {
-			continue
-		}
-		if in.total == 0 {
-			continue
-		}
-		out := s.spo.m[o]
+	for o, deg := range in {
+		out := s.shardFor(o).spo.m[o]
 		if out == nil {
 			continue
 		}
 		for _, objs := range out.m {
 			for _, l := range objs {
-				if lt := s.dict.term(l); lt.IsLiteral() {
-					sig[lt] += in.total
+				if lt := terms[l]; lt.IsLiteral() {
+					sig[lt] += deg
 				}
 			}
 		}

@@ -2,51 +2,106 @@ package store
 
 import (
 	"fmt"
-	"sync"
+	"runtime"
 	"sync/atomic"
 
 	"sapphire/internal/rdf"
 )
 
-// Store is a concurrency-safe in-memory triple store. The zero value is
-// not usable; call New.
-type Store struct {
-	mu sync.RWMutex
+// defaultShards is the process-wide shard count Store.New uses, settable
+// once at startup via SetDefaultShards (the serving commands wire their
+// -shards flag to it before any store is built).
+var defaultShards atomic.Int32
 
-	// epoch counts committed mutations: it is bumped (under the write
-	// lock, before it releases) every time the triple set actually
-	// changes — a successful Add of a new triple, or a BulkLoader.Commit
-	// that published at least one fresh triple (AddAll routes through
-	// the loader). Reads are a single atomic load, no lock: the epoch is
-	// the cache-invalidation signal for everything layered above the
-	// store (endpoint result cache, federation pattern cache), and those
-	// layers read it on every query.
-	epoch atomic.Uint64
-
-	// dict interns terms to dense IDs; all indexes below are over IDs.
-	dict *dict
-
-	// Index permutations. The innermost slice preserves insertion order,
-	// and each level's key slice is kept term-sorted incrementally, which
-	// keeps iteration deterministic without per-call sorting.
-	spo index
-	pos index
-	osp index
-
-	// present deduplicates triples as packed ID triples.
-	present map[[3]ID]struct{}
-
-	size int
+func init() {
+	defaultShards.Store(int32(runtime.GOMAXPROCS(0)))
 }
 
-// New returns an empty store.
+// DefaultShards returns the shard count New uses: runtime.GOMAXPROCS at
+// process start unless overridden with SetDefaultShards.
+func DefaultShards() int {
+	return int(defaultShards.Load())
+}
+
+// SetDefaultShards overrides the shard count New uses for stores created
+// afterwards. n < 1 is clamped to 1. Intended for startup flag wiring;
+// existing stores are unaffected.
+func SetDefaultShards(n int) {
+	if n < 1 {
+		n = 1
+	}
+	defaultShards.Store(int32(n))
+}
+
+// Store is a concurrency-safe in-memory triple store, horizontally
+// partitioned into shards keyed by a hash of the subject's dictionary
+// ID. Each shard owns its own SPO/POS/OSP indexes, RWMutex, and
+// mutation epoch; the two-way term dictionary is shared (it is
+// append-only, with lock-free resolution). Subject-bound operations
+// touch exactly one shard; wildcard-subject operations fan out across
+// shards and merge in term-sorted order, preserving the deterministic
+// iteration contract of the unsharded store. The zero value is not
+// usable; call New or NewSharded.
+type Store struct {
+	// dict interns terms to dense IDs; all shard indexes are over IDs.
+	dict   *dict
+	shards []*shard
+}
+
+// New returns an empty store with DefaultShards shards.
 func New() *Store {
-	return &Store{
-		dict:    newDict(),
-		spo:     newIndex(),
-		pos:     newIndex(),
-		osp:     newIndex(),
-		present: make(map[[3]ID]struct{}),
+	return NewSharded(DefaultShards())
+}
+
+// NewSharded returns an empty store with exactly n shards (n < 1 is
+// clamped to 1). A 1-shard store behaves observationally like the
+// pre-sharding single-store implementation, including strict
+// all-or-nothing visibility of BulkLoader commits; with more shards a
+// commit publishes shard by shard, so a concurrent reader may observe a
+// prefix of a batch (each individual shard is still all-or-nothing).
+func NewSharded(n int) *Store {
+	if n < 1 {
+		n = 1
+	}
+	s := &Store{dict: newDict(), shards: make([]*shard, n)}
+	for i := range s.shards {
+		s.shards[i] = newShard()
+	}
+	return s
+}
+
+// Shards returns the number of shards the store was built with.
+func (s *Store) Shards() int { return len(s.shards) }
+
+// shardFor routes a subject ID to its owning shard. The multiplicative
+// hash decorrelates shard choice from the dense first-seen ID sequence,
+// so subjects interned in bursts (a sorted bulk load) still spread.
+func (s *Store) shardFor(si ID) *shard {
+	return s.shards[s.shardIndex(si)]
+}
+
+func (s *Store) shardIndex(si ID) int {
+	if len(s.shards) == 1 {
+		return 0
+	}
+	h := (uint64(si) * 0x9E3779B97F4A7C15) >> 32
+	return int(h % uint64(len(s.shards)))
+}
+
+// rlockAll acquires every shard's read lock in shard order; runlockAll
+// releases them. Multi-shard readers hold all shard locks for the
+// duration of the fan-out so a scan observes each shard at a single
+// point in time. Writers only ever hold one shard lock at a time, so
+// the fixed acquisition order cannot deadlock.
+func (s *Store) rlockAll() {
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+	}
+}
+
+func (s *Store) runlockAll() {
+	for _, sh := range s.shards {
+		sh.mu.RUnlock()
 	}
 }
 
@@ -56,40 +111,53 @@ func (s *Store) Add(tr rdf.Triple) (bool, error) {
 	if !tr.Valid() {
 		return false, fmt.Errorf("store: invalid triple %s", tr)
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	si := s.dict.intern(tr.S)
-	pi := s.dict.intern(tr.P)
-	oi := s.dict.intern(tr.O)
-	key := [3]ID{si, pi, oi}
-	if _, dup := s.present[key]; dup {
+	si, pi, oi := s.dict.internTriple(tr)
+	sh := s.shardFor(si)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, dup := sh.present[[3]ID{si, pi, oi}]; dup {
 		return false, nil
 	}
-	s.present[key] = struct{}{}
-	s.spo.add(s.dict, si, pi, oi)
-	s.pos.add(s.dict, pi, oi, si)
-	s.osp.add(s.dict, oi, si, pi)
-	s.size++
-	s.epoch.Add(1)
+	sh.addLocked(s.dict.snapshot(), si, pi, oi)
 	return true, nil
 }
 
 // Epoch returns the store's mutation epoch: a monotonic counter that
 // advances whenever the triple set changes (Add of a new triple,
-// BulkLoader.Commit with fresh triples). Two Epoch reads returning the
-// same value bracket a window in which every query answer was computed
-// against the same triple set, which is exactly the guarantee a result
-// cache needs: keying cached entries by (query, epoch) makes
-// invalidation free — a mutation moves the epoch and every stale entry
-// simply stops being addressable.
+// BulkLoader.Commit with fresh triples). It is the sum of the per-shard
+// epochs, so it moves if and only if some shard's triple set changed.
+// Two Epoch reads returning the same value bracket a window in which
+// every query answer was computed against the same triple set, which is
+// exactly the guarantee a result cache needs: keying cached entries by
+// (query, epoch) makes invalidation free — a mutation moves the epoch
+// and every stale entry simply stops being addressable.
 //
-// Epoch never takes the store lock. It may be observed to advance
-// slightly before a writer releases the write lock; a reader that then
-// evaluates a query blocks on the read lock until the writer is done,
-// so the answer it computes is consistent with (or newer than) the
-// epoch it read — never older.
+// Epoch never takes a shard lock. It may be observed to advance
+// slightly before a writer releases its shard's write lock; a reader
+// that then evaluates a query blocks on that shard's read lock until
+// the writer is done, so the answer it computes is consistent with (or
+// newer than) the epoch it read — never older.
+//
+// The sum is read shard by shard, not atomically, so under concurrent
+// writes two distinct triple-set states can yield the same sum (bump A
+// then bump B passes through sums E and E+1, while a torn reader mixing
+// old-A with new-B also lands on E+... a colliding value). This does
+// not weaken the cache contract: every per-shard counter is monotone
+// and the shards are read at increasing times, so if a cached entry's
+// state S sums to the value a reader computed, S must have been the
+// current state at some instant inside that reader's read window —
+// were S already superseded before the window, every later per-shard
+// read would be ≥ S's vector with at least one strictly greater (sum
+// too large); were S not yet reached, at least one strictly smaller
+// (sum too small). Serving S is therefore exactly as linearizable as
+// the old store-global counter, which also named one instant within
+// the reader's window.
 func (s *Store) Epoch() uint64 {
-	return s.epoch.Load()
+	var e uint64
+	for _, sh := range s.shards {
+		e += sh.epoch.Load()
+	}
+	return e
 }
 
 // AddAll inserts all triples, stopping at the first invalid one (valid
@@ -114,28 +182,25 @@ func (s *Store) MustAdd(tr rdf.Triple) {
 
 // Len returns the number of distinct triples.
 func (s *Store) Len() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.size
+	s.rlockAll()
+	defer s.runlockAll()
+	n := 0
+	for _, sh := range s.shards {
+		n += sh.size
+	}
+	return n
 }
 
 // Contains reports whether the exact triple is present.
 func (s *Store) Contains(tr rdf.Triple) bool {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	si, ok := s.dict.lookup(tr.S)
-	if !ok {
+	si, pi, oi, ok := s.patternIDs(tr.S, tr.P, tr.O)
+	if !ok || si == Wildcard || pi == Wildcard || oi == Wildcard {
 		return false
 	}
-	pi, ok := s.dict.lookup(tr.P)
-	if !ok {
-		return false
-	}
-	oi, ok := s.dict.lookup(tr.O)
-	if !ok {
-		return false
-	}
-	_, ok = s.present[[3]ID{si, pi, oi}]
+	sh := s.shardFor(si)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	_, ok = sh.present[[3]ID{si, pi, oi}]
 	return ok
 }
 
@@ -145,8 +210,6 @@ func (s *Store) Contains(tr rdf.Triple) bool {
 // before Commit, so Lookup may succeed for a term that matches nothing
 // (MatchIDs/CountIDs correctly return empty/0 for it).
 func (s *Store) Lookup(t rdf.Term) (ID, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	return s.dict.lookup(t)
 }
 
@@ -163,25 +226,210 @@ func (s *Store) ResolveID(id ID) rdf.Term {
 // any position is a wildcard. Iteration stops early if fn returns false.
 // The callback must not mutate the store.
 func (s *Store) Match(sub, pred, obj rdf.Term, fn func(rdf.Triple) bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	si, pi, oi, ok := s.patternIDs(sub, pred, obj)
 	if !ok {
 		return
 	}
-	d := s.dict
-	s.matchIDsLocked(si, pi, oi, func(a, b, c ID) bool {
-		return fn(rdf.Triple{S: d.term(a), P: d.term(b), O: d.term(c)})
+	// The snapshot is captured inside the first callback, i.e. after
+	// MatchIDs acquired the shard lock(s): every triple visible under
+	// those locks had its terms published before its insert completed,
+	// so one snapshot covers the whole iteration (terms are interned
+	// strictly before their triples become visible).
+	var terms []rdf.Term
+	s.MatchIDs(si, pi, oi, func(a, b, c ID) bool {
+		if terms == nil {
+			terms = s.dict.snapshot()
+		}
+		return fn(rdf.Triple{S: terms[a], P: terms[b], O: terms[c]})
 	})
 }
 
 // MatchIDs streams every matching triple as a dictionary-ID tuple. A
 // Wildcard (zero) ID in any position matches every term. Iteration stops
 // early if fn returns false. The callback must not mutate the store.
+//
+// Subject-bound patterns lock and walk exactly one shard. Wildcard-
+// subject patterns take every shard's read lock and merge the per-shard
+// streams in term-sorted order, so iteration order is identical to a
+// single-shard store's regardless of shard count.
 func (s *Store) MatchIDs(sub, pred, obj ID, fn func(s, p, o ID) bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	s.matchIDsLocked(sub, pred, obj, fn)
+	if sub != Wildcard {
+		sh := s.shardFor(sub)
+		sh.mu.RLock()
+		defer sh.mu.RUnlock()
+		sh.matchLocked(sub, pred, obj, fn)
+		return
+	}
+	if len(s.shards) == 1 {
+		sh := s.shards[0]
+		sh.mu.RLock()
+		defer sh.mu.RUnlock()
+		sh.matchLocked(sub, pred, obj, fn)
+		return
+	}
+	s.rlockAll()
+	defer s.runlockAll()
+	switch {
+	case pred != Wildcard:
+		s.matchPredBoundLocked(pred, obj, fn)
+	case obj != Wildcard:
+		s.matchObjBoundLocked(obj, fn)
+	default:
+		s.matchScanLocked(fn)
+	}
+}
+
+// matchPredBoundLocked handles (?s P O) and (?s P ?o) across shards.
+// All shard read locks must be held.
+func (s *Store) matchPredBoundLocked(pred, obj ID, fn func(a, b, c ID) bool) {
+	terms := s.dict.snapshot()
+	entries := make([]*entry, 0, len(s.shards))
+	for _, sh := range s.shards {
+		if e := sh.pos.m[pred]; e != nil {
+			entries = append(entries, e)
+		}
+	}
+	if len(entries) == 0 {
+		return
+	}
+	if obj != Wildcard {
+		// Subjects for one (P, O) pair: disjoint term-sorted runs, one
+		// per shard (POS keeps innermost lists term-sorted).
+		lists := make([][]ID, 0, len(entries))
+		for _, e := range entries {
+			if subs := e.m[obj]; len(subs) > 0 {
+				lists = append(lists, subs)
+			}
+		}
+		mergeSorted(terms, lists, func(sb ID, _ []int) bool {
+			return fn(sb, pred, obj)
+		})
+		return
+	}
+	// Objects merge across shards in term order; the same object can
+	// appear in several shards (its subjects are spread), so each
+	// distinct object merges the contributing shards' subject runs.
+	keyLists := make([][]ID, len(entries))
+	for i, e := range entries {
+		keyLists[i] = e.keys
+	}
+	inner := make([][]ID, 0, len(entries))
+	mergeSorted(terms, keyLists, func(o ID, which []int) bool {
+		if len(which) == 1 {
+			for _, sb := range entries[which[0]].m[o] {
+				if !fn(sb, pred, o) {
+					return false
+				}
+			}
+			return true
+		}
+		inner = inner[:0]
+		for _, w := range which {
+			inner = append(inner, entries[w].m[o])
+		}
+		return mergeSorted(terms, inner, func(sb ID, _ []int) bool {
+			return fn(sb, pred, o)
+		})
+	})
+}
+
+// matchObjBoundLocked handles (?s ?p O) across shards: per-shard OSP
+// subject streams are disjoint (a subject lives in one shard) and term-
+// sorted, so they merge directly; each subject's predicate list comes
+// whole from its shard. All shard read locks must be held.
+func (s *Store) matchObjBoundLocked(obj ID, fn func(a, b, c ID) bool) {
+	terms := s.dict.snapshot()
+	entries := make([]*entry, 0, len(s.shards))
+	for _, sh := range s.shards {
+		if e := sh.osp.m[obj]; e != nil {
+			entries = append(entries, e)
+		}
+	}
+	if len(entries) == 0 {
+		return
+	}
+	keyLists := make([][]ID, len(entries))
+	for i, e := range entries {
+		keyLists[i] = e.keys
+	}
+	mergeSorted(terms, keyLists, func(sb ID, which []int) bool {
+		for _, p := range entries[which[0]].m[sb] {
+			if !fn(sb, p, obj) {
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// matchScanLocked handles the full (?s ?p ?o) scan across shards:
+// subjects are disjoint term-sorted streams, and each subject's whole
+// out-edge set lives in its shard. All shard read locks must be held.
+func (s *Store) matchScanLocked(fn func(a, b, c ID) bool) {
+	terms := s.dict.snapshot()
+	keyLists := make([][]ID, len(s.shards))
+	for i, sh := range s.shards {
+		keyLists[i] = sh.spo.keys
+	}
+	mergeSorted(terms, keyLists, func(sb ID, which []int) bool {
+		return s.shards[which[0]].scanSubjectLocked(sb, fn)
+	})
+}
+
+// mergeSorted iterates the union of term-sorted ID slices in global
+// term order, invoking visit once per distinct ID together with the
+// indexes of the input lists whose cursor currently holds it (a term
+// interns to exactly one ID, so equal IDs are the only possible ties).
+// It returns false if visit stopped the iteration early. The linear
+// scan over cursors is intentional: the fan-out width is the shard
+// count, which is small (defaults to GOMAXPROCS).
+func mergeSorted(terms []rdf.Term, lists [][]ID, visit func(id ID, which []int) bool) bool {
+	switch len(lists) {
+	case 0:
+		return true
+	case 1:
+		one := [1]int{0}
+		for _, id := range lists[0] {
+			if !visit(id, one[:]) {
+				return false
+			}
+		}
+		return true
+	}
+	pos := make([]int, len(lists))
+	which := make([]int, 0, len(lists))
+	for {
+		best := ID(0)
+		which = which[:0]
+		for i, l := range lists {
+			if pos[i] >= len(l) {
+				continue
+			}
+			id := l[pos[i]]
+			switch {
+			case len(which) == 0:
+				best = id
+				which = append(which, i)
+			case id == best:
+				which = append(which, i)
+			default:
+				if terms[id].Compare(terms[best]) < 0 {
+					best = id
+					which = which[:0]
+					which = append(which, i)
+				}
+			}
+		}
+		if len(which) == 0 {
+			return true
+		}
+		for _, w := range which {
+			pos[w]++
+		}
+		if !visit(best, which) {
+			return false
+		}
+	}
 }
 
 // patternIDs maps a Term pattern to an ID pattern. ok is false when a
@@ -205,94 +453,6 @@ func (s *Store) patternIDs(sub, pred, obj rdf.Term) (si, pi, oi ID, ok bool) {
 	return si, pi, oi, true
 }
 
-// matchIDsLocked walks the narrowest index for the pattern shape. Wildcard
-// positions iterate the incrementally maintained term-sorted key slices,
-// so no per-call sorting happens anywhere on this path.
-func (s *Store) matchIDsLocked(sub, pred, obj ID, fn func(a, b, c ID) bool) {
-	switch {
-	case sub != Wildcard && pred != Wildcard && obj != Wildcard:
-		if _, ok := s.present[[3]ID{sub, pred, obj}]; ok {
-			fn(sub, pred, obj)
-		}
-	case sub != Wildcard && obj != Wildcard:
-		// (S ? O): probe OSP for exactly the predicates linking the pair
-		// instead of filtering the subject's whole out-edge set.
-		e := s.osp.m[obj]
-		if e == nil {
-			return
-		}
-		for _, p := range e.m[sub] {
-			if !fn(sub, p, obj) {
-				return
-			}
-		}
-	case sub != Wildcard:
-		e := s.spo.m[sub]
-		if e == nil {
-			return
-		}
-		if pred != Wildcard {
-			for _, o := range e.m[pred] {
-				if !fn(sub, pred, o) {
-					return
-				}
-			}
-			return
-		}
-		for _, p := range e.keys {
-			for _, o := range e.m[p] {
-				if !fn(sub, p, o) {
-					return
-				}
-			}
-		}
-	case pred != Wildcard:
-		e := s.pos.m[pred]
-		if e == nil {
-			return
-		}
-		if obj != Wildcard {
-			for _, sb := range e.m[obj] {
-				if !fn(sb, pred, obj) {
-					return
-				}
-			}
-			return
-		}
-		for _, o := range e.keys {
-			for _, sb := range e.m[o] {
-				if !fn(sb, pred, o) {
-					return
-				}
-			}
-		}
-	case obj != Wildcard:
-		e := s.osp.m[obj]
-		if e == nil {
-			return
-		}
-		for _, sb := range e.keys {
-			for _, p := range e.m[sb] {
-				if !fn(sb, p, obj) {
-					return
-				}
-			}
-		}
-	default:
-		// Full scan: iterate SPO deterministically.
-		for _, sb := range s.spo.keys {
-			e := s.spo.m[sb]
-			for _, p := range e.keys {
-				for _, o := range e.m[p] {
-					if !fn(sb, p, o) {
-						return
-					}
-				}
-			}
-		}
-	}
-}
-
 // MatchSlice collects all triples matching the pattern.
 func (s *Store) MatchSlice(sub, pred, obj rdf.Term) []rdf.Triple {
 	var out []rdf.Triple
@@ -304,29 +464,38 @@ func (s *Store) MatchSlice(sub, pred, obj rdf.Term) []rdf.Triple {
 }
 
 // Count returns the number of triples matching the pattern without
-// materializing them. Every pattern shape has full index coverage, so the
-// answer is a constant number of map probes — no iteration.
+// materializing them. Every pattern shape has full index coverage, so
+// the answer is a constant number of map probes per shard — no
+// iteration.
 func (s *Store) Count(sub, pred, obj rdf.Term) int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	si, pi, oi, ok := s.patternIDs(sub, pred, obj)
 	if !ok {
 		return 0
 	}
-	return s.countLocked(si, pi, oi)
+	return s.CountIDs(si, pi, oi)
 }
 
 // CountIDs is Count over dictionary IDs (Wildcard matches every term).
 func (s *Store) CountIDs(sub, pred, obj ID) int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.countLocked(sub, pred, obj)
+	if sub != Wildcard {
+		sh := s.shardFor(sub)
+		sh.mu.RLock()
+		defer sh.mu.RUnlock()
+		return sh.countLocked(sub, pred, obj)
+	}
+	s.rlockAll()
+	defer s.runlockAll()
+	n := 0
+	for _, sh := range s.shards {
+		n += sh.countLocked(sub, pred, obj)
+	}
+	return n
 }
 
 // CardinalityEstimate returns the number of results for a pattern, used
 // by the endpoint cost model and by the federated source selection. With
-// the per-entry totals maintained on Add it is exact for every shape and
-// O(1); it shares the implementation with Count.
+// the per-entry totals maintained on insert it is exact for every shape
+// and O(shards); it shares the implementation with Count.
 func (s *Store) CardinalityEstimate(sub, pred, obj rdf.Term) int {
 	return s.Count(sub, pred, obj)
 }
@@ -336,70 +505,50 @@ func (s *Store) CardinalityEstimateIDs(sub, pred, obj ID) int {
 	return s.CountIDs(sub, pred, obj)
 }
 
-// countLocked answers every pattern shape from index metadata: the
-// present set for fully bound patterns, innermost slice lengths for
-// two-bound patterns, and per-entry totals for one-bound patterns.
-func (s *Store) countLocked(sub, pred, obj ID) int {
-	switch {
-	case sub != Wildcard && pred != Wildcard && obj != Wildcard:
-		if _, ok := s.present[[3]ID{sub, pred, obj}]; ok {
-			return 1
-		}
-		return 0
-	case sub != Wildcard && pred != Wildcard:
-		if e := s.spo.m[sub]; e != nil {
-			return len(e.m[pred])
-		}
-		return 0
-	case sub != Wildcard && obj != Wildcard:
-		if e := s.osp.m[obj]; e != nil {
-			return len(e.m[sub])
-		}
-		return 0
-	case sub != Wildcard:
-		if e := s.spo.m[sub]; e != nil {
-			return e.total
-		}
-		return 0
-	case pred != Wildcard && obj != Wildcard:
-		if e := s.pos.m[pred]; e != nil {
-			return len(e.m[obj])
-		}
-		return 0
-	case pred != Wildcard:
-		if e := s.pos.m[pred]; e != nil {
-			return e.total
-		}
-		return 0
-	case obj != Wildcard:
-		if e := s.osp.m[obj]; e != nil {
-			return e.total
-		}
-		return 0
-	default:
-		return s.size
-	}
-}
-
-// Subjects returns the distinct subjects, sorted.
+// Subjects returns the distinct subjects, sorted. Per-shard subject key
+// slices are disjoint and term-sorted, so this is a k-way merge.
 func (s *Store) Subjects() []rdf.Term {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.resolveAll(s.spo.keys)
+	s.rlockAll()
+	defer s.runlockAll()
+	terms := s.dict.snapshot()
+	keyLists := make([][]ID, len(s.shards))
+	n := 0
+	for i, sh := range s.shards {
+		keyLists[i] = sh.spo.keys
+		n += len(sh.spo.keys)
+	}
+	out := make([]rdf.Term, 0, n)
+	mergeSorted(terms, keyLists, func(id ID, _ []int) bool {
+		out = append(out, terms[id])
+		return true
+	})
+	return out
 }
 
-// Predicates returns the distinct predicates, sorted.
+// Predicates returns the distinct predicates, sorted. The same
+// predicate typically occurs in every shard; the merge visits each
+// distinct ID once.
 func (s *Store) Predicates() []rdf.Term {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.resolveAll(s.pos.keys)
+	s.rlockAll()
+	defer s.runlockAll()
+	terms := s.dict.snapshot()
+	keyLists := make([][]ID, len(s.shards))
+	for i, sh := range s.shards {
+		keyLists[i] = sh.pos.keys
+	}
+	var out []rdf.Term
+	mergeSorted(terms, keyLists, func(id ID, _ []int) bool {
+		out = append(out, terms[id])
+		return true
+	})
+	return out
 }
 
 // resolveAll maps a (term-sorted) ID slice to its terms.
 func (s *Store) resolveAll(ids []ID) []rdf.Term {
 	out := make([]rdf.Term, len(ids))
 	for i, id := range ids {
-		out[i] = s.dict.term(id)
+		out[i] = s.dict.termSnapshot(id)
 	}
 	return out
 }
