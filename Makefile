@@ -24,9 +24,12 @@ BENCH_ENDPOINT_OUT := BENCH_ENDPOINT_$(shell date +%Y-%m-%d).txt
 
 # The pinned CI benchmark config: headline benchmarks only, fixed
 # benchtime and repeat count, fixed 1-CPU setting so runner core counts
-# don't change what the numbers mean. BenchmarkMatchByPredicate expands
-# to its single/sharded8 sub-benchmarks.
-BENCH_CI_PATTERN := ^(BenchmarkMatchByPredicate|BenchmarkEvalTwoHopJoin|BenchmarkCachedQuery|BenchmarkBulkLoad)$$
+# don't change what the numbers mean. BenchmarkMatchByPredicate and
+# BenchmarkMatchSubjectsMerge expand to their single/sharded8
+# sub-benchmarks (the sharded8 rows gate the cross-shard wildcard-merge
+# regression surface); BenchmarkDictInternParallel expands to its
+# dict1/dict2/dict8 shard counts.
+BENCH_CI_PATTERN := ^(BenchmarkMatchByPredicate|BenchmarkMatchSubjectsMerge|BenchmarkDictInternParallel|BenchmarkEvalTwoHopJoin|BenchmarkCachedQuery|BenchmarkBulkLoad)$$
 BENCH_CI_PKGS := ./internal/store/ ./internal/sparql/ ./internal/endpoint/
 BENCH_CI_FLAGS := -run '^$$' -bench '$(BENCH_CI_PATTERN)' -benchtime=200ms -count=4 -cpu=1 -timeout=20m
 

@@ -47,10 +47,13 @@ type File struct {
 }
 
 // defaultRequired are the headline benchmarks the gate insists on, as
-// substring patterns: the hot read path (Match), the evaluator join
-// (EvalTwoHopJoin), the endpoint cache hit path (CachedQuery), and
-// bulk ingestion (BulkLoad).
-const defaultRequired = "BenchmarkMatchByPredicate,BenchmarkEvalTwoHopJoin,BenchmarkCachedQuery,BenchmarkBulkLoad"
+// substring patterns: the hot read path (Match), both cross-shard
+// wildcard-merge shapes (MatchByPredicate/sharded8's (?s P ?o) sweep
+// and MatchSubjectsMerge/sharded8's (?s P O) subject runs), dictionary
+// interning (DictInternParallel), the evaluator join (EvalTwoHopJoin),
+// the endpoint cache hit path (CachedQuery), and bulk ingestion
+// (BulkLoad).
+const defaultRequired = "BenchmarkMatchByPredicate,BenchmarkMatchSubjectsMerge,BenchmarkDictInternParallel,BenchmarkEvalTwoHopJoin,BenchmarkCachedQuery,BenchmarkBulkLoad"
 
 // benchLine matches one `go test -bench` result line, e.g.
 //

@@ -1,0 +1,112 @@
+package endpoint
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"sapphire/internal/rdf"
+	"sapphire/internal/store"
+)
+
+// shardingWorkload replays the seeded random workload TestCacheEquivalence
+// uses — queries drawn from cacheWorkloadQueries interleaved with online
+// Adds, staged bulk commits, and duplicate Adds — against a store with
+// the given (storeShards, dictShards) configuration. It returns every
+// query's byte-exact dump and, per mutation step, whether the store's
+// epoch moved.
+func shardingWorkload(t *testing.T, storeShards, dictShards int) (dumps []string, epochMoved []bool) {
+	t.Helper()
+	const seed = 77
+	rng := rand.New(rand.NewSource(seed))
+	const base = 30
+	s := store.NewShardedDict(storeShards, dictShards)
+	typ := rdf.NewIRI(rdf.RDFType)
+	person := rdf.NewIRI("http://x/Person")
+	name := rdf.NewIRI("http://x/name")
+	for i := 0; i < base; i++ {
+		subj := rdf.NewIRI(fmt.Sprintf("http://x/p%d", i))
+		s.MustAdd(rdf.NewTriple(subj, typ, person))
+		s.MustAdd(rdf.NewTriple(subj, name,
+			rdf.NewLangLiteral(fmt.Sprintf("Person %d", i), "en")))
+	}
+	ep := NewLocal(fmt.Sprintf("store%d-dict%d", storeShards, dictShards), s,
+		Limits{CacheBytes: 1 << 20})
+	loader := store.NewBulkLoader(s)
+	next := base
+
+	mutate := func() {
+		switch rng.Intn(3) {
+		case 0: // online single Add
+			subj := rdf.NewIRI(fmt.Sprintf("http://x/p%d", next))
+			s.MustAdd(rdf.NewTriple(subj, typ, person))
+			next++
+		case 1: // staged bulk batch, committed at once
+			batch := 1 + rng.Intn(5)
+			for j := 0; j < batch; j++ {
+				subj := rdf.NewIRI(fmt.Sprintf("http://x/p%d", next))
+				loader.MustAdd(rdf.NewTriple(subj, typ, person))
+				loader.MustAdd(rdf.NewTriple(subj, name,
+					rdf.NewLangLiteral(fmt.Sprintf("Person %d", next), "en")))
+				next++
+			}
+			loader.Commit()
+		default: // duplicate Add: must not move any epoch
+			s.MustAdd(rdf.NewTriple(rdf.NewIRI("http://x/p0"), typ, person))
+		}
+	}
+
+	last := s.Epoch()
+	for round := 0; round < 40; round++ {
+		for k := 0; k < 6; k++ {
+			q := cacheWorkloadQueries(rng, next)
+			dumps = append(dumps, q+"\n"+dump(mustQuery(t, ep, q)))
+		}
+		mutate()
+		e := s.Epoch()
+		epochMoved = append(epochMoved, e != last)
+		last = e
+	}
+	return dumps, epochMoved
+}
+
+// TestShardingDifferentialEquivalence sweeps every (dictShards ×
+// storeShards) combination in {1,2,8}² through the seeded random query
+// workload and pins observational equivalence against the (1,1)
+// configuration: every answer byte-identical (same rows, same order,
+// through the caching endpoint), and the epoch moving at exactly the
+// same workload steps. Epoch *values* are allowed to differ across
+// store-shard counts — a multi-shard bulk commit bumps one epoch per
+// touched shard — but whether a step moved the epoch is part of the
+// cache-invalidation contract and must not depend on either shard
+// count.
+func TestShardingDifferentialEquivalence(t *testing.T) {
+	baseDumps, baseMoves := shardingWorkload(t, 1, 1)
+	if len(baseDumps) == 0 {
+		t.Fatal("workload produced no queries")
+	}
+	for _, storeShards := range []int{1, 2, 8} {
+		for _, dictShards := range []int{1, 2, 8} {
+			if storeShards == 1 && dictShards == 1 {
+				continue
+			}
+			t.Run(fmt.Sprintf("store%d-dict%d", storeShards, dictShards), func(t *testing.T) {
+				dumps, moves := shardingWorkload(t, storeShards, dictShards)
+				if len(dumps) != len(baseDumps) {
+					t.Fatalf("ran %d queries, baseline ran %d", len(dumps), len(baseDumps))
+				}
+				for i := range dumps {
+					if dumps[i] != baseDumps[i] {
+						t.Fatalf("query %d differs from (1,1) baseline:\n%s\n--- baseline ---\n%s",
+							i, dumps[i], baseDumps[i])
+					}
+				}
+				for i := range moves {
+					if moves[i] != baseMoves[i] {
+						t.Fatalf("epoch movement at step %d = %v, baseline %v", i, moves[i], baseMoves[i])
+					}
+				}
+			})
+		}
+	}
+}

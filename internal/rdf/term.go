@@ -131,6 +131,14 @@ func (t Term) StringTo(b *strings.Builder) {
 // The order is total and stable, used for deterministic result ordering.
 // It returns -1, 0, or +1.
 func (t Term) Compare(u Term) int {
+	return t.CompareTo(&u)
+}
+
+// CompareTo is Compare without copying either operand — the k-way merge
+// in the store compares cached terms on every step, where the two
+// 56-byte value copies of the value-receiver form dominate the compare
+// itself. Neither operand is modified.
+func (t *Term) CompareTo(u *Term) int {
 	if t.Kind != u.Kind {
 		if t.Kind < u.Kind {
 			return -1

@@ -95,6 +95,43 @@ type evaluator struct {
 	g      Graph
 	q      *Query
 	budget Budget
+
+	// maxRows caps how many final join rows the BGP executors produce
+	// when LIMIT/OFFSET can be pushed into the join (see pushdownCap);
+	// -1 means no cap. emitted counts final rows produced so far across
+	// all union branches.
+	maxRows int
+	emitted int
+}
+
+// joinOrderPreserved reports whether the query's result rows are
+// exactly the join's output rows, in join emission order: no modifier
+// between the join and page() reorders, drops, multiplies, or merges
+// rows (ORDER BY reorders, aggregates and DISTINCT collapse, FILTER
+// drops, OPTIONAL multiplies). For this class the evaluator serves join
+// order directly — it is fully deterministic (the store's iteration
+// order is pinned by TestShardEquivalence and the greedy plan is a pure
+// function of the store state) — instead of the defensive row-key sort
+// the modifier paths use, and that is what makes the LIMIT/OFFSET
+// pushdown an exact row-for-row match of the materialize-then-page slow
+// path.
+func (e *evaluator) joinOrderPreserved() bool {
+	q := e.q
+	return !q.HasAggregates() && !q.Distinct &&
+		len(q.OrderBy) == 0 && len(q.Filters) == 0 && len(q.Optionals) == 0
+}
+
+// pushdownCap returns Offset+Limit when paging can be pushed into the
+// join's early-stop path, or -1 when the full solution set is needed
+// first: with join order preserved, result rows correspond 1:1 (in
+// order) to join rows, so the join can stop after producing the first
+// Offset+Limit of them — LIMIT k over a huge pattern does work
+// proportional to k, not to the match count.
+func (e *evaluator) pushdownCap() int {
+	if e.q.Limit < 0 || !e.joinOrderPreserved() {
+		return -1
+	}
+	return e.q.Offset + e.q.Limit
 }
 
 func (e *evaluator) tick() error {
@@ -108,11 +145,17 @@ func (e *evaluator) run() (*Results, error) {
 	if len(e.q.Where) == 0 && len(e.q.UnionGroups) == 0 {
 		return nil, fmt.Errorf("sparql: empty WHERE clause")
 	}
+	e.maxRows = e.pushdownCap()
 	var rows []Binding
 	var err error
 	if len(e.q.UnionGroups) > 0 {
 		// Union: each branch evaluates independently; solutions concat.
+		// With a pushdown cap the shared emitted counter stops later
+		// branches once earlier ones have produced enough rows.
 		for _, g := range e.q.UnionGroups {
+			if e.maxRows >= 0 && e.emitted >= e.maxRows {
+				break
+			}
 			branch, berr := e.joinGroup(g)
 			if berr != nil {
 				return nil, berr
@@ -150,7 +193,10 @@ func (e *evaluator) run() (*Results, error) {
 	if err != nil {
 		return nil, err
 	}
-	if e.q.HasAggregates() || len(e.q.OrderBy) == 0 {
+	// Queries whose rows are the join's rows keep join order (see
+	// joinOrderPreserved); the modifier paths fall back to the
+	// deterministic row-key sort when no explicit order was given.
+	if (e.q.HasAggregates() || len(e.q.OrderBy) == 0) && !e.joinOrderPreserved() {
 		e.order(res)
 	}
 	e.page(res)
@@ -237,6 +283,11 @@ func (e *evaluator) joinFromTerms(seed []Binding, group []Pattern) ([]Binding, e
 		idx := e.pickNext(remaining, bound)
 		pat := remaining[idx]
 		remaining = append(remaining[:idx], remaining[idx+1:]...)
+		// Rows produced by the last pattern are final solutions: when a
+		// LIMIT pushdown cap is active they count against it, and the
+		// join stops the moment it is reached.
+		final := len(remaining) == 0
+		stop := false
 		var next []Binding
 		for _, row := range rows {
 			s, sv := resolve(pat.S, row)
@@ -270,17 +321,27 @@ func (e *evaluator) joinFromTerms(seed []Binding, group []Pattern) ([]Binding, e
 				// through unchanged and uncloned. Sharing is safe: every
 				// mutation above is preceded by a clone.
 				next = append(next, nb)
+				if final && e.maxRows >= 0 {
+					e.emitted++
+					if e.emitted >= e.maxRows {
+						stop = true
+						return false
+					}
+				}
 				return true
 			})
 			if innerErr != nil {
 				return nil, innerErr
+			}
+			if stop {
+				break
 			}
 		}
 		rows = next
 		for _, v := range pat.Vars() {
 			bound[v] = true
 		}
-		if len(rows) == 0 {
+		if len(rows) == 0 || stop {
 			return rows, nil
 		}
 	}
@@ -354,6 +415,7 @@ func (e *evaluator) joinFromIDs(ig IDGraph, seed []Binding, group []Pattern) ([]
 			// A constant term absent from the dictionary matches nothing.
 			return nil, nil
 		}
+		stop := false
 		var next []idBinding
 		for _, row := range rows {
 			s, sv := resolveID(sN, row)
@@ -389,6 +451,13 @@ func (e *evaluator) joinFromIDs(ig IDGraph, seed []Binding, group []Pattern) ([]
 						nb[ov] = ig.ResolveID(mo)
 					}
 					out = append(out, nb)
+					if e.maxRows >= 0 {
+						e.emitted++
+						if e.emitted >= e.maxRows {
+							stop = true
+							return false
+						}
+					}
 					return true
 				}
 				nb := row
@@ -409,6 +478,9 @@ func (e *evaluator) joinFromIDs(ig IDGraph, seed []Binding, group []Pattern) ([]
 			})
 			if innerErr != nil {
 				return nil, innerErr
+			}
+			if stop {
+				break
 			}
 		}
 		if final {

@@ -1,0 +1,147 @@
+package sparql
+
+import (
+	"fmt"
+	"testing"
+
+	"sapphire/internal/rdf"
+	"sapphire/internal/store"
+)
+
+// buildWide builds a store with n subjects, each typed and named, plus a
+// knows-chain, so single patterns, joins, and unions all have hundreds
+// of solutions.
+func buildWide(t testing.TB, n int) *store.Store {
+	t.Helper()
+	s := store.New()
+	typ := rdf.NewIRI(rdf.RDFType)
+	person := rdf.NewIRI("http://x/Person")
+	name := rdf.NewIRI("http://x/name")
+	knows := rdf.NewIRI("http://x/knows")
+	l := store.NewBulkLoader(s)
+	for i := 0; i < n; i++ {
+		subj := rdf.NewIRI(fmt.Sprintf("http://x/p%d", i))
+		l.MustAdd(rdf.NewTriple(subj, typ, person))
+		l.MustAdd(rdf.NewTriple(subj, name, rdf.NewLangLiteral(fmt.Sprintf("Person %d", i), "en")))
+		l.MustAdd(rdf.NewTriple(subj, knows, rdf.NewIRI(fmt.Sprintf("http://x/p%d", (i+1)%n))))
+	}
+	l.Commit()
+	return s
+}
+
+// rowStrings renders result rows in order, one string per row, so two
+// evaluations can be compared row-for-row (not as sets).
+func rowStrings(res *Results) []string {
+	out := make([]string, len(res.Rows))
+	for i, row := range res.Rows {
+		s := ""
+		for j, v := range res.Vars {
+			if j > 0 {
+				s += " | "
+			}
+			s += row[v].String()
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// TestLimitPushdownEquivalence pins the LIMIT/OFFSET pushdown against
+// the slow path: for every query shape — pushdown-eligible ones (plain
+// BGPs, unions) and ineligible ones (ORDER BY, DISTINCT, FILTER,
+// OPTIONAL, aggregates) — evaluating with LIMIT k OFFSET m must produce
+// row-for-row the slice [m, m+k) of the same query evaluated without
+// paging.
+func TestLimitPushdownEquivalence(t *testing.T) {
+	s := buildWide(t, 120)
+	bases := []string{
+		`SELECT ?s ?n WHERE { ?s <http://x/name> ?n . }`,
+		`SELECT ?s WHERE { ?s a <http://x/Person> . ?s <http://x/knows> ?o . }`,
+		`SELECT ?s ?n WHERE { ?s a <http://x/Person> . ?s <http://x/name> ?n . ?s <http://x/knows> ?o . }`,
+		`SELECT ?s WHERE { { ?s a <http://x/Person> . } UNION { ?s <http://x/knows> <http://x/p1> . } }`,
+		// Ineligible shapes: paging must still agree with the slow path
+		// (these take the materialize-then-page route).
+		`SELECT ?s ?n WHERE { ?s <http://x/name> ?n . } ORDER BY ?n`,
+		`SELECT DISTINCT ?o WHERE { ?s a ?o . }`,
+		`SELECT ?s ?n WHERE { ?s <http://x/name> ?n . FILTER (?n != "Person 3"@en) }`,
+		`SELECT ?s ?n WHERE { ?s a <http://x/Person> . OPTIONAL { ?s <http://x/name> ?n . } }`,
+		`SELECT (COUNT(?s) AS ?c) WHERE { ?s a <http://x/Person> . }`,
+	}
+	pages := []struct{ limit, offset int }{
+		{0, 0}, {1, 0}, {7, 0}, {7, 5}, {10, 115}, {10, 500}, {1000, 0},
+	}
+	for _, base := range bases {
+		full := eval(t, s, base)
+		want := rowStrings(full)
+		for _, pg := range pages {
+			q := fmt.Sprintf("%s LIMIT %d OFFSET %d", base, pg.limit, pg.offset)
+			got := rowStrings(eval(t, s, q))
+			lo := pg.offset
+			if lo > len(want) {
+				lo = len(want)
+			}
+			hi := lo + pg.limit
+			if hi > len(want) {
+				hi = len(want)
+			}
+			slice := want[lo:hi]
+			if len(got) != len(slice) {
+				t.Fatalf("%s: got %d rows, want %d", q, len(got), len(slice))
+			}
+			for i := range got {
+				if got[i] != slice[i] {
+					t.Fatalf("%s: row %d = %q, want %q (row-for-row with slow path)", q, i, got[i], slice[i])
+				}
+			}
+		}
+	}
+}
+
+// TestLimitPushdownStopsEarly pins the point of the pushdown: with no
+// ORDER BY/aggregate/DISTINCT/FILTER/OPTIONAL, LIMIT k evaluates work
+// proportional to k, not to the full solution set. The Budget callback
+// ticks once per intermediate row, so it measures exactly how much the
+// join produced.
+func TestLimitPushdownStopsEarly(t *testing.T) {
+	const n = 3000
+	s := buildWide(t, n)
+	count := func(src string) int {
+		t.Helper()
+		q, err := Parse(src)
+		if err != nil {
+			t.Fatalf("parse %q: %v", src, err)
+		}
+		ticks := 0
+		if _, err := Eval(s, q, Options{Budget: func() error { ticks++; return nil }}); err != nil {
+			t.Fatalf("eval %q: %v", src, err)
+		}
+		return ticks
+	}
+
+	// Single pattern: the scan must stop after offset+limit rows.
+	if ticks := count(`SELECT ?s ?n WHERE { ?s <http://x/name> ?n . } LIMIT 7 OFFSET 3`); ticks > 10 {
+		t.Errorf("single pattern LIMIT 7 OFFSET 3 ticked %d times, want <= 10", ticks)
+	}
+	// Join: only the final pattern's output is capped — intermediate
+	// levels still materialize (whether a given intermediate row yields
+	// a final row is unknowable up front) — so the cap saves the final
+	// pattern's n probes: ~n+5 ticks instead of ~2n.
+	joinQ := `SELECT ?s ?n WHERE { ?s a <http://x/Person> . ?s <http://x/name> ?n . } LIMIT 5`
+	full := count(`SELECT ?s ?n WHERE { ?s a <http://x/Person> . ?s <http://x/name> ?n . }`)
+	if ticks := count(joinQ); ticks > n+50 || ticks >= full {
+		t.Errorf("join LIMIT 5 ticked %d times, want <= %d (full join ticks %d)", ticks, n+50, full)
+	}
+	// Union: later branches must not run once the cap is reached.
+	unionQ := `SELECT ?s WHERE { { ?s a <http://x/Person> . } UNION { ?s <http://x/name> ?o . } } LIMIT 4`
+	if ticks := count(unionQ); ticks > 4 {
+		t.Errorf("union LIMIT 4 ticked %d times, want <= 4", ticks)
+	}
+	// LIMIT 0 does no more than O(1) work.
+	if ticks := count(`SELECT ?s WHERE { ?s a <http://x/Person> . } LIMIT 0`); ticks > 1 {
+		t.Errorf("LIMIT 0 ticked %d times, want <= 1", ticks)
+	}
+	// An ORDER BY query cannot push down: it must see every row.
+	if ticks := count(`SELECT ?s ?n WHERE { ?s <http://x/name> ?n . } ORDER BY ?n LIMIT 7`); ticks < n {
+		t.Errorf("ORDER BY LIMIT ticked %d times, want full materialization (>= %d)", ticks, n)
+	}
+}

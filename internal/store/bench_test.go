@@ -28,6 +28,24 @@ func benchStoreSharded(n, shards int) *Store {
 
 func benchStore(n int) *Store { return benchStoreSharded(n, DefaultShards()) }
 
+// warmRanks drives the dictionary's background rank build to completion
+// so steady-state merge benchmarks measure label compares, not the
+// string-compare fallback of the warmup window. No-op below the build
+// floor (small stores never build a table).
+func warmRanks(b *testing.B, s *Store) {
+	b.Helper()
+	if s.dict.terms.Load() < rankMinTerms {
+		return
+	}
+	s.dict.maybeBuildRanks()
+	for i := 0; s.dict.ranksBuilding.Load() || s.dict.ranks.Load() == nil; i++ {
+		if i > 10000 {
+			b.Fatal("rank build did not finish")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
 // shardModes are the two configurations the shard-sensitive benchmarks
 // pin: single (the pre-sharding behavior, no merge overhead) and a
 // fixed 8 shards (pays the cross-shard term-ordered merge; fixed, not
@@ -48,6 +66,7 @@ func BenchmarkMatchByPredicate(b *testing.B) {
 		b.Run(mode.name, func(b *testing.B) {
 			s := benchStoreSharded(5000, mode.shards)
 			p := rdf.NewIRI("http://x/p")
+			warmRanks(b, s)
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
@@ -317,4 +336,62 @@ func mean(xs []float64) float64 {
 		t += x
 	}
 	return t / float64(len(xs))
+}
+
+// BenchmarkMatchSubjectsMerge measures the (?s P O) fan-out: 5000
+// subjects all pointing at one hub object through one predicate, so the
+// sharded variant merges disjoint term-sorted per-shard subject runs
+// (POS innermost lists) through the loser tree — the second
+// wildcard-merge shape the benchgate pins alongside the (?s P ?o)
+// sweep of BenchmarkMatchByPredicate.
+func BenchmarkMatchSubjectsMerge(b *testing.B) {
+	for _, mode := range shardModes {
+		b.Run(mode.name, func(b *testing.B) {
+			s := NewSharded(mode.shards)
+			hub := rdf.NewIRI("http://x/hub")
+			p := rdf.NewIRI("http://x/p")
+			for i := 0; i < 5000; i++ {
+				s.MustAdd(rdf.NewTriple(rdf.NewIRI(fmt.Sprintf("http://x/s%d", i)), p, hub))
+			}
+			warmRanks(b, s)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				n := 0
+				s.Match(rdf.Term{}, p, hub, func(rdf.Triple) bool { n++; return true })
+				if n != 5000 {
+					b.Fatalf("matched %d", n)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkDictInternParallel measures dictionary interning throughput
+// across dictionary shard counts: every goroutine interns its own
+// stream of terms, cycling through a bounded window so the stream mixes
+// fresh interning (shard write lock, range allocation, spine writes)
+// with hit-path lookups (shard read lock) at steady state. With one
+// dictionary shard every goroutine serializes on one mutex; with more,
+// contention drops proportionally — run with -cpu=8 to see the scaling,
+// while the pinned -cpu=1 CI row tracks the single-thread cost of the
+// intern path itself.
+func BenchmarkDictInternParallel(b *testing.B) {
+	const window = 1 << 17
+	for _, shards := range []int{1, 2, 8} {
+		b.Run(fmt.Sprintf("dict%d", shards), func(b *testing.B) {
+			d := newDict(shards)
+			var gid atomic.Uint32
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				prefix := fmt.Sprintf("http://x/g%d/", gid.Add(1))
+				i := 0
+				for pb.Next() {
+					d.intern(rdf.NewIRI(prefix + strconv.Itoa(i&(window-1))))
+					i++
+				}
+			})
+		})
+	}
 }

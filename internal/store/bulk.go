@@ -66,7 +66,19 @@ type BulkLoader struct {
 	// autoCommit is the staged-triple count at which Add/AddAll commit
 	// inline; <= 0 disables the cap.
 	autoCommit int
+
+	// Reusable scratch for the batched intern path: the flattened terms
+	// of one AddAll chunk, their assigned IDs, and the per-dict-shard
+	// position buckets internAll groups by. Guarded by mu.
+	terms   []rdf.Term
+	ids     []ID
+	buckets [][]int32
 }
+
+// internChunk is how many triples AddAll interns per internAll call:
+// large enough that each dictionary shard's lock is taken once per
+// thousands of terms, small enough to keep the scratch buffers modest.
+const internChunk = 4096
 
 // DefaultAutoCommit is the staged-buffer cap a new BulkLoader starts
 // with: 1M staged triples ≈ 12 MB of packed IDs, while each commit
@@ -113,19 +125,40 @@ func (l *BulkLoader) MustAdd(tr rdf.Triple) {
 }
 
 // AddAll stages all triples, stopping at the first invalid one (triples
-// before it remain staged). Interning batches under one dictionary lock
-// acquisition per chunk.
+// before it remain staged). Interning is batched: each chunk of triples
+// is bucketed by dictionary shard and every touched shard's lock is
+// acquired once per chunk instead of once per triple, so a bulk load
+// costs each dictionary shard a handful of lock acquisitions per
+// thousands of staged terms.
 func (l *BulkLoader) AddAll(triples []rdf.Triple) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	d := l.s.dict
-	for _, tr := range triples {
-		if !tr.Valid() {
-			return fmt.Errorf("store: invalid triple %s", tr)
+	for len(triples) > 0 {
+		n := min(len(triples), internChunk)
+		chunk := triples[:n]
+		// Only the valid prefix of the chunk is interned and staged.
+		var err error
+		for i, tr := range chunk {
+			if !tr.Valid() {
+				chunk, err = chunk[:i], fmt.Errorf("store: invalid triple %s", tr)
+				break
+			}
 		}
-		si, pi, oi := d.internTriple(tr)
-		l.buf = append(l.buf, [3]ID{si, pi, oi})
-		l.maybeAutoCommitLocked()
+		l.terms = l.terms[:0]
+		for _, tr := range chunk {
+			l.terms = append(l.terms, tr.S, tr.P, tr.O)
+		}
+		l.ids = grow(l.ids, len(l.terms))
+		l.buckets = d.internAll(l.terms, l.ids, l.buckets)
+		for i := range chunk {
+			l.buf = append(l.buf, [3]ID{l.ids[3*i], l.ids[3*i+1], l.ids[3*i+2]})
+			l.maybeAutoCommitLocked()
+		}
+		if err != nil {
+			return err
+		}
+		triples = triples[n:]
 	}
 	return nil
 }
@@ -166,12 +199,12 @@ func (l *BulkLoader) commitLocked() int {
 	if len(l.buf) == 0 {
 		return 0
 	}
-	// The snapshot is taken after every staged term was interned, so it
+	// The view is taken after every staged term was interned, so it
 	// covers every ID in the batch.
-	terms := s.dict.snapshot()
+	tv := s.dict.view()
 	fresh := 0
 	if len(s.shards) == 1 {
-		fresh = s.shards[0].commitBatch(terms, l.buf)
+		fresh = s.shards[0].commitBatch(tv, l.buf)
 	} else {
 		// Partition by shard, preserving arrival order within each.
 		parts := make([][][3]ID, len(s.shards))
@@ -183,7 +216,7 @@ func (l *BulkLoader) commitLocked() int {
 			if len(part) == 0 {
 				continue
 			}
-			fresh += s.shards[i].commitBatch(terms, part)
+			fresh += s.shards[i].commitBatch(tv, part)
 		}
 	}
 	l.buf = l.buf[:0]
@@ -192,7 +225,7 @@ func (l *BulkLoader) commitLocked() int {
 
 // commitBatch publishes one shard's slice of a staged batch under that
 // shard's write lock and returns how many triples were new.
-func (sh *shard) commitBatch(terms []rdf.Term, batch [][3]ID) int {
+func (sh *shard) commitBatch(tv termView, batch [][3]ID) int {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	fresh := make([][3]ID, 0, len(batch))
@@ -204,9 +237,9 @@ func (sh *shard) commitBatch(terms []rdf.Term, batch [][3]ID) int {
 		fresh = append(fresh, k)
 	}
 	sh.size += len(fresh)
-	sh.spo.bulkBuild(terms, fresh, 0, 1, 2)
-	sh.pos.bulkBuild(terms, fresh, 1, 2, 0)
-	sh.osp.bulkBuild(terms, fresh, 2, 0, 1)
+	sh.spo.bulkBuild(tv, fresh, 0, 1, 2)
+	sh.pos.bulkBuild(tv, fresh, 1, 2, 0)
+	sh.osp.bulkBuild(tv, fresh, 2, 0, 1)
 	if len(fresh) > 0 {
 		sh.epoch.Add(1)
 	}
@@ -259,7 +292,7 @@ func LoadNTriples(s *Store, r io.Reader) error {
 // slice that grew is re-sorted exactly once, as is (for sortedInner
 // indexes) each innermost list that grew. Runs under the owning shard's
 // write lock, so the transient unsorted tails are never observable.
-func (x *index) bulkBuild(terms []rdf.Term, fresh [][3]ID, ai, bi, ci int) {
+func (x *index) bulkBuild(tv termView, fresh [][3]ID, ai, bi, ci int) {
 	rows := make([][4]ID, len(fresh))
 	for i, k := range fresh {
 		rows[i] = [4]ID{k[ai], k[bi], k[ci], ID(i)}
@@ -283,7 +316,7 @@ func (x *index) bulkBuild(terms []rdf.Term, fresh [][3]ID, ai, bi, ci int) {
 		}
 		e := x.m[a]
 		if e == nil {
-			e = &entry{m: make(map[ID][]ID)}
+			e = &entry{m: make(map[ID]*[]ID)}
 			x.m[a] = e
 			x.keys = append(x.keys, a)
 		}
@@ -294,62 +327,100 @@ func (x *index) bulkBuild(terms []rdf.Term, fresh [][3]ID, ai, bi, ci int) {
 			for m < j && rows[m][1] == b {
 				m++
 			}
-			lst, ok := e.m[b]
-			if !ok {
+			lst := e.m[b]
+			if lst == nil {
+				nl := make([]ID, 0, m-k)
+				lst = &nl
+				e.m[b] = lst
 				e.keys = append(e.keys, b)
-				lst = make([]ID, 0, m-k)
+				e.lists = append(e.lists, lst)
 			}
-			innerOrig := len(lst)
+			innerOrig := len(*lst)
 			for t := k; t < m; t++ {
-				lst = append(lst, rows[t][2])
+				*lst = append(*lst, rows[t][2])
 			}
 			if x.sortedInner {
-				mergeTail(terms, lst, innerOrig)
+				mergeTail(tv, *lst, innerOrig)
 			}
-			e.m[b] = lst
 			e.total += m - k
 			k = m
 		}
-		mergeTail(terms, e.keys, l2orig)
+		mergeTailPaired(tv, e.keys, e.lists, l2orig)
 		i = j
 	}
-	mergeTail(terms, x.keys, l1orig)
+	mergeTail(tv, x.keys, l1orig)
 }
 
-// smallTail is the appended-key count below which mergeTail inserts
-// into the sorted prefix instead of re-sorting the whole slice, so a
-// small AddAll batch against a large store costs what the incremental
-// Add path would, not a full re-sort of every key.
+// smallTail is the appended-key count below which the tail-merge
+// helpers insert into the sorted prefix instead of re-sorting the whole
+// slice, so a small AddAll batch against a large store costs what the
+// incremental Add path would, not a full re-sort of every key.
 const smallTail = 16
 
 // mergeTail restores term order on a key slice whose first orig
 // elements are sorted and whose tail was appended unsorted during a
 // bulk build. Large tails (a real bulk load) sort the whole slice once;
 // small tails binary-search-insert each appended key in place.
-func mergeTail(terms []rdf.Term, keys []ID, orig int) {
+func mergeTail(tv termView, keys []ID, orig int) {
 	tail := len(keys) - orig
 	if tail == 0 {
 		return
 	}
 	if tail > smallTail || orig == 0 {
-		sortKeys(terms, keys)
+		sort.Slice(keys, func(i, j int) bool {
+			return tv.atPtr(keys[i]).CompareTo(tv.atPtr(keys[j])) < 0
+		})
 		return
 	}
 	for i := orig; i < len(keys); i++ {
 		id := keys[i]
-		t := terms[id]
+		t := tv.atPtr(id)
 		j := sort.Search(i, func(k int) bool {
-			return terms[keys[k]].Compare(t) >= 0
+			return tv.atPtr(keys[k]).CompareTo(t) >= 0
 		})
 		copy(keys[j+1:i+1], keys[j:i])
 		keys[j] = id
 	}
 }
 
-// sortKeys sorts an ID slice by term order, the same order insertSorted
-// maintains incrementally.
-func sortKeys(terms []rdf.Term, keys []ID) {
-	sort.Slice(keys, func(i, j int) bool {
-		return terms[keys[i]].Compare(terms[keys[j]]) < 0
-	})
+// mergeTailPaired is mergeTail for a key slice with a parallel value
+// slice (level-one entries or level-two list boxes): keys and vals move
+// together so vals[i] keeps backing keys[i].
+func mergeTailPaired[T any](tv termView, keys []ID, vals []T, orig int) {
+	tail := len(keys) - orig
+	if tail == 0 {
+		return
+	}
+	if tail > smallTail || orig == 0 {
+		sort.Sort(pairedByTerm[T]{tv: tv, keys: keys, vals: vals})
+		return
+	}
+	for i := orig; i < len(keys); i++ {
+		id, v := keys[i], vals[i]
+		t := tv.atPtr(id)
+		j := sort.Search(i, func(k int) bool {
+			return tv.atPtr(keys[k]).CompareTo(t) >= 0
+		})
+		copy(keys[j+1:i+1], keys[j:i])
+		keys[j] = id
+		copy(vals[j+1:i+1], vals[j:i])
+		vals[j] = v
+	}
+}
+
+// pairedByTerm sorts a key slice by term order, carrying the parallel
+// value slice through every swap.
+type pairedByTerm[T any] struct {
+	tv   termView
+	keys []ID
+	vals []T
+}
+
+func (p pairedByTerm[T]) Len() int { return len(p.keys) }
+func (p pairedByTerm[T]) Less(i, j int) bool {
+	return p.tv.atPtr(p.keys[i]).CompareTo(p.tv.atPtr(p.keys[j])) < 0
+}
+func (p pairedByTerm[T]) Swap(i, j int) {
+	p.keys[i], p.keys[j] = p.keys[j], p.keys[i]
+	p.vals[i], p.vals[j] = p.vals[j], p.vals[i]
 }

@@ -8,11 +8,22 @@
 // # Dictionary encoding
 //
 // Terms are interned into a two-way dictionary (see dict.go): each
-// distinct rdf.Term maps to a dense uint32 ID, and all three indexes are
-// nested map[uint32]map[uint32][]uint32 over IDs rather than maps keyed by
-// the 4-field Term struct. The dedup set is map[[3]uint32]struct{}. This
-// shrinks the per-triple footprint, turns every index probe into an
-// integer hash, and makes triple materialization a slice lookup.
+// distinct rdf.Term maps to a uint32 ID, and all three indexes are
+// nested ID maps rather than maps keyed by the 4-field Term struct. The
+// dedup set is map[[3]uint32]struct{}. This shrinks the per-triple
+// footprint, turns every index probe into an integer hash, and makes
+// triple materialization a chunk probe.
+//
+// The dictionary itself is partitioned by term hash into independent
+// shards (NewShardedDict picks the count; DefaultDictShards otherwise),
+// so interning distinct terms contends per shard, not globally. IDs are
+// still allocated from one global space — each dictionary shard claims
+// ranges of idRangeSize consecutive IDs from a shared counter — and the
+// ID→term direction is a chunked spine published through an atomic
+// pointer, so ResolveID stays a lock-free probe. The dictionary also
+// maintains a background-built per-ID order statistic (rank.go): labels
+// whose numeric order equals term order, letting the cross-shard merge
+// compare most keys with one integer compare.
 //
 // # Sharding
 //
@@ -63,20 +74,24 @@
 //   - Wildcard == 0. The zero ID is never assigned to a term; MatchIDs
 //     and CountIDs treat it the way Match treats a zero rdf.Term. A
 //     lookup that fails must not be conflated with a wildcard.
-//   - IDs are dense and append-only: assigned from 1 upward in
-//     first-seen order, never reused, never remapped. An ID observed
-//     once remains valid for the life of the store, so IDs can be
-//     cached across queries. The converse does not hold: an ID (and a
-//     successful Lookup) may exist for a term whose triples are still
-//     staged in a BulkLoader, or were never committed at all — pattern
-//     matches and counts for such a term are simply empty.
+//   - IDs are append-only: assigned from 1 upward, never reused, never
+//     remapped. An ID observed once remains valid for the life of the
+//     store, so IDs can be cached across queries. Since the dictionary
+//     was sharded IDs are no longer strictly first-seen dense — each
+//     dictionary shard assigns from its claimed range, leaving at most
+//     one partially used range of holes per shard — and nothing may
+//     assume ID order relates to term or arrival order. The converse
+//     does not hold either: an ID (and a successful Lookup) may exist
+//     for a term whose triples are still staged in a BulkLoader, or
+//     were never committed at all — pattern matches and counts for
+//     such a term are simply empty.
 //   - Match/MatchIDs callbacks run under shard read locks (one shard
 //     for subject-bound patterns, all shards for wildcard-subject
 //     ones). They must not mutate the store and must not call locking
 //     accessors (Lookup, Count, ...); once a writer queues on a shard's
 //     RWMutex, a nested RLock deadlocks. ResolveID is the exception: it
-//     reads an atomic snapshot of the append-only ID→term slice and
-//     never takes a lock, precisely so callbacks can resolve terms
+//     reads the atomically published ID→term chunk spine and never
+//     takes a lock, precisely so callbacks can resolve terms
 //     mid-iteration.
 //
 // # Bulk loading
@@ -84,8 +99,10 @@
 // Add keeps the sorted-key invariant with a binary-search insertion —
 // an O(n) memmove per new key, fine online, quadratic-ish for loading
 // datasets. BulkLoader (bulk.go) is the staged path: Add/AddAll intern
-// and buffer packed ID triples without taking any shard lock, Commit
-// builds each shard's indexes for the batch grouped by key and sorts
-// each touched key slice exactly once, under that shard's write lock.
-// Store.AddAll routes through it automatically.
+// and buffer packed ID triples without taking any store-shard lock
+// (AddAll interns in chunks, acquiring each dictionary shard at most
+// once per chunk), Commit builds each shard's indexes for the batch
+// grouped by key and sorts each touched key slice exactly once, under
+// that shard's write lock. Store.AddAll routes through it
+// automatically.
 package store

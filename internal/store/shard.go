@@ -3,8 +3,6 @@ package store
 import (
 	"sync"
 	"sync/atomic"
-
-	"sapphire/internal/rdf"
 )
 
 // shard is one horizontal partition of a Store. A triple lives in
@@ -66,7 +64,7 @@ func (sh *shard) matchLocked(sub, pred, obj ID, fn func(a, b, c ID) bool) {
 		if e == nil {
 			return
 		}
-		for _, p := range e.m[sub] {
+		for _, p := range e.get(sub) {
 			if !fn(sub, p, obj) {
 				return
 			}
@@ -77,15 +75,15 @@ func (sh *shard) matchLocked(sub, pred, obj ID, fn func(a, b, c ID) bool) {
 			return
 		}
 		if pred != Wildcard {
-			for _, o := range e.m[pred] {
+			for _, o := range e.get(pred) {
 				if !fn(sub, pred, o) {
 					return
 				}
 			}
 			return
 		}
-		for _, p := range e.keys {
-			for _, o := range e.m[p] {
+		for i, p := range e.keys {
+			for _, o := range *e.lists[i] {
 				if !fn(sub, p, o) {
 					return
 				}
@@ -97,15 +95,15 @@ func (sh *shard) matchLocked(sub, pred, obj ID, fn func(a, b, c ID) bool) {
 			return
 		}
 		if obj != Wildcard {
-			for _, sb := range e.m[obj] {
+			for _, sb := range e.get(obj) {
 				if !fn(sb, pred, obj) {
 					return
 				}
 			}
 			return
 		}
-		for _, o := range e.keys {
-			for _, sb := range e.m[o] {
+		for i, o := range e.keys {
+			for _, sb := range *e.lists[i] {
 				if !fn(sb, pred, o) {
 					return
 				}
@@ -116,8 +114,8 @@ func (sh *shard) matchLocked(sub, pred, obj ID, fn func(a, b, c ID) bool) {
 		if e == nil {
 			return
 		}
-		for _, sb := range e.keys {
-			for _, p := range e.m[sb] {
+		for i, sb := range e.keys {
+			for _, p := range *e.lists[i] {
 				if !fn(sb, p, obj) {
 					return
 				}
@@ -146,8 +144,8 @@ func (sh *shard) scanSubjectLocked(sb ID, fn func(a, b, c ID) bool) bool {
 	if e == nil {
 		return true
 	}
-	for _, p := range e.keys {
-		for _, o := range e.m[p] {
+	for i, p := range e.keys {
+		for _, o := range *e.lists[i] {
 			if !fn(sb, p, o) {
 				return false
 			}
@@ -169,12 +167,12 @@ func (sh *shard) countLocked(sub, pred, obj ID) int {
 		return 0
 	case sub != Wildcard && pred != Wildcard:
 		if e := sh.spo.m[sub]; e != nil {
-			return len(e.m[pred])
+			return len(e.get(pred))
 		}
 		return 0
 	case sub != Wildcard && obj != Wildcard:
 		if e := sh.osp.m[obj]; e != nil {
-			return len(e.m[sub])
+			return len(e.get(sub))
 		}
 		return 0
 	case sub != Wildcard:
@@ -184,7 +182,7 @@ func (sh *shard) countLocked(sub, pred, obj ID) int {
 		return 0
 	case pred != Wildcard && obj != Wildcard:
 		if e := sh.pos.m[pred]; e != nil {
-			return len(e.m[obj])
+			return len(e.get(obj))
 		}
 		return 0
 	case pred != Wildcard:
@@ -205,11 +203,11 @@ func (sh *shard) countLocked(sub, pred, obj ID) int {
 // addLocked inserts a fresh (non-duplicate, pre-checked) triple into the
 // shard's three indexes and bumps the counters. Caller must hold the
 // shard write lock and have verified the triple is not in present.
-func (sh *shard) addLocked(terms []rdf.Term, si, pi, oi ID) {
+func (sh *shard) addLocked(tv termView, si, pi, oi ID) {
 	sh.present[[3]ID{si, pi, oi}] = struct{}{}
-	sh.spo.add(terms, si, pi, oi)
-	sh.pos.add(terms, pi, oi, si)
-	sh.osp.add(terms, oi, si, pi)
+	sh.spo.add(tv, si, pi, oi)
+	sh.pos.add(tv, pi, oi, si)
+	sh.osp.add(tv, oi, si, pi)
 	sh.size++
 	sh.epoch.Add(1)
 }

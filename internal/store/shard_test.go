@@ -225,11 +225,14 @@ func shardWorkload(t *testing.T, st *Store) {
 // (which is the pre-sharding implementation), and every count, subject,
 // and predicate view must agree.
 func TestShardEquivalence(t *testing.T) {
-	single := NewSharded(1)
+	single := NewShardedDict(1, 1)
 	shardWorkload(t, single)
-	for _, shards := range []int{2, 3, 8} {
-		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
-			multi := NewSharded(shards)
+	for _, cfg := range []struct{ shards, dictShards int }{
+		{2, 1}, {3, 8}, {8, 1}, {8, 8},
+	} {
+		shards := cfg.shards
+		t.Run(fmt.Sprintf("shards=%d,dict=%d", shards, cfg.dictShards), func(t *testing.T) {
+			multi := NewShardedDict(shards, cfg.dictShards)
 			shardWorkload(t, multi)
 
 			if single.Len() != multi.Len() {
@@ -323,4 +326,75 @@ func TestDefaultShards(t *testing.T) {
 	if got := NewSharded(-5).Shards(); got != 1 {
 		t.Fatalf("NewSharded(-5).Shards() = %d, want 1", got)
 	}
+}
+
+// TestShardEquivalenceWithRanks pins the rank-table compare path: the
+// smaller equivalence workloads stay under the rank build floor, so
+// this one loads enough distinct terms to cross it, forces a build on
+// the sharded store, and asserts the label-driven merge still streams
+// byte-identically to the 1-shard store — then interns more terms (now
+// unlabeled, exercising the mixed label/string fallback) and checks
+// again, before and after a second build.
+func TestShardEquivalenceWithRanks(t *testing.T) {
+	const n = 3000 // 2 triples/subject, distinct literal objects: > 4096 terms
+	p := iri("p")
+	typ := iri("type")
+	build := func(shards int) *Store {
+		s := NewShardedDict(shards, 4)
+		l := NewBulkLoader(s)
+		for i := 0; i < n; i++ {
+			subj := iri(fmt.Sprintf("rs%d", i))
+			l.MustAdd(tri(subj, typ, iri("C")))
+			l.MustAdd(tri(subj, p, lit(fmt.Sprintf("rank value %d", i))))
+		}
+		l.Commit()
+		return s
+	}
+	single := build(1)
+	multi := build(8)
+	if multi.dict.terms.Load() < rankMinTerms {
+		t.Fatalf("workload too small to cross the rank floor: %d terms", multi.dict.terms.Load())
+	}
+	multi.dict.buildRanks()
+	if multi.dict.ranks.Load() == nil {
+		t.Fatal("rank build published no table")
+	}
+
+	check := func(stage string) {
+		t.Helper()
+		var z rdf.Term
+		for _, sh := range [][3]rdf.Term{
+			{z, p, z}, {z, typ, z}, {z, z, lit("rank value 7")}, {z, z, z},
+		} {
+			want := single.MatchSlice(sh[0], sh[1], sh[2])
+			got := multi.MatchSlice(sh[0], sh[1], sh[2])
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("%s: Match(%v) differs from 1-shard store (%d vs %d rows)",
+					stage, sh, len(got), len(want))
+			}
+		}
+		if got, want := multi.Subjects(), single.Subjects(); !reflect.DeepEqual(got, want) {
+			t.Fatalf("%s: Subjects differ", stage)
+		}
+		if got, want := multi.Predicates(), single.Predicates(); !reflect.DeepEqual(got, want) {
+			t.Fatalf("%s: Predicates differ", stage)
+		}
+	}
+	check("labeled")
+
+	// Fresh terms after the build are unlabeled: merges now mix label
+	// compares with the string fallback. Interleave new literals between
+	// the old ones ("rank valuf ..." sorts after every "rank value ...",
+	// "rank valud ..." before) to make the mixing real.
+	for _, st := range []*Store{single, multi} {
+		for i := 0; i < 64; i++ {
+			subj := iri(fmt.Sprintf("fresh%d", i))
+			st.MustAdd(tri(subj, p, lit(fmt.Sprintf("rank valud %d", i))))
+			st.MustAdd(tri(subj, typ, iri("C")))
+		}
+	}
+	check("mixed")
+
+	multi.dict.buildRanks()
+	check("relabeled")
 }

@@ -20,7 +20,7 @@ type PredicateFrequency struct {
 func (s *Store) PredicateFrequencies() []PredicateFrequency {
 	s.rlockAll()
 	defer s.runlockAll()
-	terms := s.dict.snapshot()
+	tv := s.dict.view()
 	totals := make(map[ID]int)
 	for _, sh := range s.shards {
 		for p, e := range sh.pos.m {
@@ -29,7 +29,7 @@ func (s *Store) PredicateFrequencies() []PredicateFrequency {
 	}
 	out := make([]PredicateFrequency, 0, len(totals))
 	for p, n := range totals {
-		out = append(out, PredicateFrequency{Predicate: terms[p], Count: n})
+		out = append(out, PredicateFrequency{Predicate: tv.at(p), Count: n})
 	}
 	sortFreq(out)
 	return out
@@ -41,13 +41,13 @@ func (s *Store) PredicateFrequencies() []PredicateFrequency {
 func (s *Store) LiteralPredicateFrequencies() []PredicateFrequency {
 	s.rlockAll()
 	defer s.runlockAll()
-	terms := s.dict.snapshot()
+	tv := s.dict.view()
 	counts := make(map[ID]int)
 	for _, sh := range s.shards {
 		for p, e := range sh.pos.m {
 			for o, subs := range e.m {
-				if terms[o].IsLiteral() {
-					counts[p] += len(subs)
+				if tv.at(o).IsLiteral() {
+					counts[p] += len(*subs)
 				}
 			}
 		}
@@ -55,7 +55,7 @@ func (s *Store) LiteralPredicateFrequencies() []PredicateFrequency {
 	out := make([]PredicateFrequency, 0, len(counts))
 	for p, n := range counts {
 		if n > 0 {
-			out = append(out, PredicateFrequency{Predicate: terms[p], Count: n})
+			out = append(out, PredicateFrequency{Predicate: tv.at(p), Count: n})
 		}
 	}
 	sortFreq(out)
@@ -72,7 +72,7 @@ func (s *Store) TypeFrequencies() []PredicateFrequency {
 	}
 	s.rlockAll()
 	defer s.runlockAll()
-	terms := s.dict.snapshot()
+	tv := s.dict.view()
 	counts := make(map[ID]int)
 	for _, sh := range s.shards {
 		e := sh.pos.m[typ]
@@ -80,7 +80,7 @@ func (s *Store) TypeFrequencies() []PredicateFrequency {
 			continue
 		}
 		for o, subs := range e.m {
-			counts[o] += len(subs)
+			counts[o] += len(*subs)
 		}
 	}
 	if len(counts) == 0 {
@@ -88,7 +88,7 @@ func (s *Store) TypeFrequencies() []PredicateFrequency {
 	}
 	out := make([]PredicateFrequency, 0, len(counts))
 	for o, n := range counts {
-		out = append(out, PredicateFrequency{Predicate: terms[o], Count: n})
+		out = append(out, PredicateFrequency{Predicate: tv.at(o), Count: n})
 	}
 	sortFreq(out)
 	return out
@@ -110,11 +110,11 @@ func sortFreq(fs []PredicateFrequency) {
 func (s *Store) DistinctLiterals() int {
 	s.rlockAll()
 	defer s.runlockAll()
-	terms := s.dict.snapshot()
+	tv := s.dict.view()
 	seen := make(map[ID]struct{})
 	for _, sh := range s.shards {
 		for _, o := range sh.osp.keys {
-			if terms[o].IsLiteral() {
+			if tv.at(o).IsLiteral() {
 				seen[o] = struct{}{}
 			}
 		}
@@ -148,13 +148,13 @@ func (s *Store) IncomingEdgeCount(o rdf.Term) int {
 func (s *Store) LiteralSignificance() map[rdf.Term]int {
 	s.rlockAll()
 	defer s.runlockAll()
-	terms := s.dict.snapshot()
+	tv := s.dict.view()
 	// Pass 1: total in-degree per entity, summed across shards (an
 	// entity can be an object in any shard).
 	in := make(map[ID]int)
 	for _, sh := range s.shards {
 		for o, e := range sh.osp.m {
-			if e.total == 0 || terms[o].IsLiteral() {
+			if e.total == 0 || tv.at(o).IsLiteral() {
 				continue
 			}
 			in[o] += e.total
@@ -169,8 +169,8 @@ func (s *Store) LiteralSignificance() map[rdf.Term]int {
 			continue
 		}
 		for _, objs := range out.m {
-			for _, l := range objs {
-				if lt := terms[l]; lt.IsLiteral() {
+			for _, l := range *objs {
+				if lt := tv.at(l); lt.IsLiteral() {
 					sig[lt] += deg
 				}
 			}

@@ -3,6 +3,7 @@ package store
 import (
 	"fmt"
 	"runtime"
+	"sync"
 	"sync/atomic"
 
 	"sapphire/internal/rdf"
@@ -46,6 +47,21 @@ type Store struct {
 	// dict interns terms to dense IDs; all shard indexes are over IDs.
 	dict   *dict
 	shards []*shard
+
+	// mergeScratches recycles the slices and loser trees the
+	// cross-shard wildcard fan-outs use, so a wildcard Match allocates
+	// nothing in steady state.
+	mergeScratches sync.Pool
+}
+
+// scratch checks a mergeScratch out of the pool, reset for tv/rt.
+func (s *Store) scratch(tv termView, rt *rankTable) *mergeScratch {
+	sc, _ := s.mergeScratches.Get().(*mergeScratch)
+	if sc == nil {
+		sc = &mergeScratch{}
+	}
+	sc.reset(tv, rt)
+	return sc
 }
 
 // New returns an empty store with DefaultShards shards.
@@ -54,16 +70,26 @@ func New() *Store {
 }
 
 // NewSharded returns an empty store with exactly n shards (n < 1 is
-// clamped to 1). A 1-shard store behaves observationally like the
-// pre-sharding single-store implementation, including strict
-// all-or-nothing visibility of BulkLoader commits; with more shards a
-// commit publishes shard by shard, so a concurrent reader may observe a
-// prefix of a batch (each individual shard is still all-or-nothing).
+// clamped to 1) and DefaultDictShards dictionary shards. A 1-shard
+// store behaves observationally like the pre-sharding single-store
+// implementation, including strict all-or-nothing visibility of
+// BulkLoader commits; with more shards a commit publishes shard by
+// shard, so a concurrent reader may observe a prefix of a batch (each
+// individual shard is still all-or-nothing).
 func NewSharded(n int) *Store {
+	return NewShardedDict(n, DefaultDictShards)
+}
+
+// NewShardedDict is NewSharded with an explicit term-dictionary shard
+// count (rounded up to a power of two, clamped to [1, 256]; values < 1
+// select DefaultDictShards). Dictionary sharding bounds interning lock
+// contention only — observable behavior is identical across any
+// (shards, dictShards) combination.
+func NewShardedDict(n, dictShards int) *Store {
 	if n < 1 {
 		n = 1
 	}
-	s := &Store{dict: newDict(), shards: make([]*shard, n)}
+	s := &Store{dict: newDict(dictShards), shards: make([]*shard, n)}
 	for i := range s.shards {
 		s.shards[i] = newShard()
 	}
@@ -118,7 +144,7 @@ func (s *Store) Add(tr rdf.Triple) (bool, error) {
 	if _, dup := sh.present[[3]ID{si, pi, oi}]; dup {
 		return false, nil
 	}
-	sh.addLocked(s.dict.snapshot(), si, pi, oi)
+	sh.addLocked(s.dict.view(), si, pi, oi)
 	return true, nil
 }
 
@@ -214,12 +240,12 @@ func (s *Store) Lookup(t rdf.Term) (ID, bool) {
 }
 
 // ResolveID returns the term for a dictionary ID. Unknown IDs (including
-// Wildcard) resolve to the zero Term. It is lock-free (the ID→term slice
-// is published through an atomic snapshot), so it is safe to call from
-// inside Match/MatchIDs callbacks — a nested mutex acquisition there
-// would deadlock against a queued writer.
+// Wildcard) resolve to the zero Term. It is lock-free (the ID→term
+// chunks are published through an atomic spine pointer), so it is safe
+// to call from inside Match/MatchIDs callbacks — a nested mutex
+// acquisition there would deadlock against a queued writer.
 func (s *Store) ResolveID(id ID) rdf.Term {
-	return s.dict.termSnapshot(id)
+	return s.dict.termAt(id)
 }
 
 // Match streams every triple matching the pattern to fn. A zero Term in
@@ -230,18 +256,51 @@ func (s *Store) Match(sub, pred, obj rdf.Term, fn func(rdf.Triple) bool) {
 	if !ok {
 		return
 	}
-	// The snapshot is captured inside the first callback, i.e. after
+	// The view is captured inside the first callback, i.e. after
 	// MatchIDs acquired the shard lock(s): every triple visible under
 	// those locks had its terms published before its insert completed,
-	// so one snapshot covers the whole iteration (terms are interned
-	// strictly before their triples become visible).
-	var terms []rdf.Term
-	s.MatchIDs(si, pi, oi, func(a, b, c ID) bool {
-		if terms == nil {
-			terms = s.dict.snapshot()
-		}
-		return fn(rdf.Triple{S: terms[a], P: terms[b], O: terms[c]})
-	})
+	// so one view covers the whole iteration (terms are interned
+	// strictly before their triples become visible). Bound positions
+	// match only their own ID, so their term comes straight from the
+	// pattern — only wildcard positions resolve per row. The two
+	// hottest wildcard-subject shapes get branch-free callbacks; the
+	// generic form selects per-field source pointers.
+	var tv termView
+	switch {
+	case si == Wildcard && pi != Wildcard && oi == Wildcard:
+		// (?s P ?o): the POS sweep, the cross-shard merge workload.
+		s.MatchIDs(si, pi, oi, func(a, _, c ID) bool {
+			if tv.chunks == nil {
+				tv = s.dict.view()
+			}
+			return fn(rdf.Triple{S: *tv.atPtr(a), P: pred, O: *tv.atPtr(c)})
+		})
+	case si == Wildcard && pi != Wildcard && oi != Wildcard:
+		// (?s P O): subject runs for one predicate/object pair.
+		s.MatchIDs(si, pi, oi, func(a, _, _ ID) bool {
+			if tv.chunks == nil {
+				tv = s.dict.view()
+			}
+			return fn(rdf.Triple{S: *tv.atPtr(a), P: pred, O: obj})
+		})
+	default:
+		sp, pp, op := &sub, &pred, &obj
+		s.MatchIDs(si, pi, oi, func(a, b, c ID) bool {
+			if tv.chunks == nil {
+				tv = s.dict.view()
+			}
+			if si == Wildcard {
+				sp = tv.atPtr(a)
+			}
+			if pi == Wildcard {
+				pp = tv.atPtr(b)
+			}
+			if oi == Wildcard {
+				op = tv.atPtr(c)
+			}
+			return fn(rdf.Triple{S: *sp, P: *pp, O: *op})
+		})
+	}
 }
 
 // MatchIDs streams every matching triple as a dictionary-ID tuple. A
@@ -267,6 +326,7 @@ func (s *Store) MatchIDs(sub, pred, obj ID, fn func(s, p, o ID) bool) {
 		sh.matchLocked(sub, pred, obj, fn)
 		return
 	}
+	s.dict.maybeBuildRanks()
 	s.rlockAll()
 	defer s.runlockAll()
 	switch {
@@ -282,52 +342,56 @@ func (s *Store) MatchIDs(sub, pred, obj ID, fn func(s, p, o ID) bool) {
 // matchPredBoundLocked handles (?s P O) and (?s P ?o) across shards.
 // All shard read locks must be held.
 func (s *Store) matchPredBoundLocked(pred, obj ID, fn func(a, b, c ID) bool) {
-	terms := s.dict.snapshot()
-	entries := make([]*entry, 0, len(s.shards))
+	sc := s.scratch(s.dict.view(), s.dict.ranks.Load())
+	defer s.mergeScratches.Put(sc)
 	for _, sh := range s.shards {
 		if e := sh.pos.m[pred]; e != nil {
-			entries = append(entries, e)
+			sc.entries = append(sc.entries, e)
 		}
 	}
-	if len(entries) == 0 {
+	if len(sc.entries) == 0 {
 		return
 	}
 	if obj != Wildcard {
 		// Subjects for one (P, O) pair: disjoint term-sorted runs, one
 		// per shard (POS keeps innermost lists term-sorted).
-		lists := make([][]ID, 0, len(entries))
-		for _, e := range entries {
-			if subs := e.m[obj]; len(subs) > 0 {
-				lists = append(lists, subs)
+		for _, e := range sc.entries {
+			if subs := e.get(obj); len(subs) > 0 {
+				sc.inner = append(sc.inner, subs)
 			}
 		}
-		mergeSorted(terms, lists, func(sb ID, _ []int) bool {
+		sc.outer.merge(sc.inner, func(sb ID, _ []int) bool {
 			return fn(sb, pred, obj)
 		})
 		return
 	}
 	// Objects merge across shards in term order; the same object can
 	// appear in several shards (its subjects are spread), so each
-	// distinct object merges the contributing shards' subject runs.
-	keyLists := make([][]ID, len(entries))
-	for i, e := range entries {
-		keyLists[i] = e.keys
+	// distinct object merges the contributing shards' subject runs. The
+	// subject lists come from the merge cursors (posAt) against the
+	// key-parallel list slices — no per-object map probe — and the inner
+	// merger is reused across objects, its loser tree spinning up only
+	// when an object really spans shards.
+	for _, e := range sc.entries {
+		sc.keyLists = append(sc.keyLists, e.keys)
+		sc.lists = append(sc.lists, e.lists)
 	}
-	inner := make([][]ID, 0, len(entries))
-	mergeSorted(terms, keyLists, func(o ID, which []int) bool {
+	outer, lists := &sc.outer, sc.lists
+	outer.merge(sc.keyLists, func(o ID, which []int) bool {
 		if len(which) == 1 {
-			for _, sb := range entries[which[0]].m[o] {
+			w := which[0]
+			for _, sb := range *lists[w][outer.posAt(w)] {
 				if !fn(sb, pred, o) {
 					return false
 				}
 			}
 			return true
 		}
-		inner = inner[:0]
+		sc.inner = sc.inner[:0]
 		for _, w := range which {
-			inner = append(inner, entries[w].m[o])
+			sc.inner = append(sc.inner, *lists[w][outer.posAt(w)])
 		}
-		return mergeSorted(terms, inner, func(sb ID, _ []int) bool {
+		return sc.innerM.merge(sc.inner, func(sb ID, _ []int) bool {
 			return fn(sb, pred, o)
 		})
 	})
@@ -338,22 +402,24 @@ func (s *Store) matchPredBoundLocked(pred, obj ID, fn func(a, b, c ID) bool) {
 // sorted, so they merge directly; each subject's predicate list comes
 // whole from its shard. All shard read locks must be held.
 func (s *Store) matchObjBoundLocked(obj ID, fn func(a, b, c ID) bool) {
-	terms := s.dict.snapshot()
-	entries := make([]*entry, 0, len(s.shards))
+	sc := s.scratch(s.dict.view(), s.dict.ranks.Load())
+	defer s.mergeScratches.Put(sc)
 	for _, sh := range s.shards {
 		if e := sh.osp.m[obj]; e != nil {
-			entries = append(entries, e)
+			sc.entries = append(sc.entries, e)
 		}
 	}
-	if len(entries) == 0 {
+	if len(sc.entries) == 0 {
 		return
 	}
-	keyLists := make([][]ID, len(entries))
-	for i, e := range entries {
-		keyLists[i] = e.keys
+	for _, e := range sc.entries {
+		sc.keyLists = append(sc.keyLists, e.keys)
+		sc.lists = append(sc.lists, e.lists)
 	}
-	mergeSorted(terms, keyLists, func(sb ID, which []int) bool {
-		for _, p := range entries[which[0]].m[sb] {
+	outer, lists := &sc.outer, sc.lists
+	outer.merge(sc.keyLists, func(sb ID, which []int) bool {
+		w := which[0]
+		for _, p := range *lists[w][outer.posAt(w)] {
 			if !fn(sb, p, obj) {
 				return false
 			}
@@ -366,70 +432,14 @@ func (s *Store) matchObjBoundLocked(obj ID, fn func(a, b, c ID) bool) {
 // subjects are disjoint term-sorted streams, and each subject's whole
 // out-edge set lives in its shard. All shard read locks must be held.
 func (s *Store) matchScanLocked(fn func(a, b, c ID) bool) {
-	terms := s.dict.snapshot()
-	keyLists := make([][]ID, len(s.shards))
-	for i, sh := range s.shards {
-		keyLists[i] = sh.spo.keys
+	sc := s.scratch(s.dict.view(), s.dict.ranks.Load())
+	defer s.mergeScratches.Put(sc)
+	for _, sh := range s.shards {
+		sc.keyLists = append(sc.keyLists, sh.spo.keys)
 	}
-	mergeSorted(terms, keyLists, func(sb ID, which []int) bool {
+	sc.outer.merge(sc.keyLists, func(sb ID, which []int) bool {
 		return s.shards[which[0]].scanSubjectLocked(sb, fn)
 	})
-}
-
-// mergeSorted iterates the union of term-sorted ID slices in global
-// term order, invoking visit once per distinct ID together with the
-// indexes of the input lists whose cursor currently holds it (a term
-// interns to exactly one ID, so equal IDs are the only possible ties).
-// It returns false if visit stopped the iteration early. The linear
-// scan over cursors is intentional: the fan-out width is the shard
-// count, which is small (defaults to GOMAXPROCS).
-func mergeSorted(terms []rdf.Term, lists [][]ID, visit func(id ID, which []int) bool) bool {
-	switch len(lists) {
-	case 0:
-		return true
-	case 1:
-		one := [1]int{0}
-		for _, id := range lists[0] {
-			if !visit(id, one[:]) {
-				return false
-			}
-		}
-		return true
-	}
-	pos := make([]int, len(lists))
-	which := make([]int, 0, len(lists))
-	for {
-		best := ID(0)
-		which = which[:0]
-		for i, l := range lists {
-			if pos[i] >= len(l) {
-				continue
-			}
-			id := l[pos[i]]
-			switch {
-			case len(which) == 0:
-				best = id
-				which = append(which, i)
-			case id == best:
-				which = append(which, i)
-			default:
-				if terms[id].Compare(terms[best]) < 0 {
-					best = id
-					which = which[:0]
-					which = append(which, i)
-				}
-			}
-		}
-		if len(which) == 0 {
-			return true
-		}
-		for _, w := range which {
-			pos[w]++
-		}
-		if !visit(best, which) {
-			return false
-		}
-	}
 }
 
 // patternIDs maps a Term pattern to an ID pattern. ok is false when a
@@ -508,9 +518,11 @@ func (s *Store) CardinalityEstimateIDs(sub, pred, obj ID) int {
 // Subjects returns the distinct subjects, sorted. Per-shard subject key
 // slices are disjoint and term-sorted, so this is a k-way merge.
 func (s *Store) Subjects() []rdf.Term {
+	s.dict.maybeBuildRanks()
 	s.rlockAll()
 	defer s.runlockAll()
-	terms := s.dict.snapshot()
+	tv := s.dict.view()
+	rt := s.dict.ranks.Load()
 	keyLists := make([][]ID, len(s.shards))
 	n := 0
 	for i, sh := range s.shards {
@@ -518,8 +530,8 @@ func (s *Store) Subjects() []rdf.Term {
 		n += len(sh.spo.keys)
 	}
 	out := make([]rdf.Term, 0, n)
-	mergeSorted(terms, keyLists, func(id ID, _ []int) bool {
-		out = append(out, terms[id])
+	mergeSorted(tv, rt, keyLists, func(id ID, _ []int) bool {
+		out = append(out, tv.at(id))
 		return true
 	})
 	return out
@@ -529,16 +541,18 @@ func (s *Store) Subjects() []rdf.Term {
 // predicate typically occurs in every shard; the merge visits each
 // distinct ID once.
 func (s *Store) Predicates() []rdf.Term {
+	s.dict.maybeBuildRanks()
 	s.rlockAll()
 	defer s.runlockAll()
-	terms := s.dict.snapshot()
+	tv := s.dict.view()
+	rt := s.dict.ranks.Load()
 	keyLists := make([][]ID, len(s.shards))
 	for i, sh := range s.shards {
 		keyLists[i] = sh.pos.keys
 	}
 	var out []rdf.Term
-	mergeSorted(terms, keyLists, func(id ID, _ []int) bool {
-		out = append(out, terms[id])
+	mergeSorted(tv, rt, keyLists, func(id ID, _ []int) bool {
+		out = append(out, tv.at(id))
 		return true
 	})
 	return out
@@ -546,9 +560,10 @@ func (s *Store) Predicates() []rdf.Term {
 
 // resolveAll maps a (term-sorted) ID slice to its terms.
 func (s *Store) resolveAll(ids []ID) []rdf.Term {
+	tv := s.dict.view()
 	out := make([]rdf.Term, len(ids))
 	for i, id := range ids {
-		out[i] = s.dict.termSnapshot(id)
+		out[i] = tv.at(id)
 	}
 	return out
 }
