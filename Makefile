@@ -16,6 +16,9 @@
 #                         benchmark (sapphire-benchgate)
 #   make bench-baseline - regenerate bench_baseline.json from a fresh pinned
 #                         run (do this when the reference hardware changes)
+#   make crashtest      - long crash-recovery fault-injection sweep (512 random
+#                         offsets per fault mode on top of the strided sweep;
+#                         CI runs a 64-seed smoke setting)
 #   make vet            - static analysis only
 
 GO ?= go
@@ -28,12 +31,14 @@ BENCH_ENDPOINT_OUT := BENCH_ENDPOINT_$(shell date +%Y-%m-%d).txt
 # BenchmarkMatchSubjectsMerge expand to their single/sharded8
 # sub-benchmarks (the sharded8 rows gate the cross-shard wildcard-merge
 # regression surface); BenchmarkDictInternParallel expands to its
-# dict1/dict2/dict8 shard counts.
-BENCH_CI_PATTERN := ^(BenchmarkMatchByPredicate|BenchmarkMatchSubjectsMerge|BenchmarkDictInternParallel|BenchmarkEvalTwoHopJoin|BenchmarkCachedQuery|BenchmarkBulkLoad)$$
-BENCH_CI_PKGS := ./internal/store/ ./internal/sparql/ ./internal/endpoint/
+# dict1/dict2/dict8 shard counts. The persist rows gate the durability
+# path: snapshot encode, WAL append under each fsync policy, and the
+# snapshot-vs-reingest recovery ratio (BenchmarkRecovery1M).
+BENCH_CI_PATTERN := ^(BenchmarkMatchByPredicate|BenchmarkMatchSubjectsMerge|BenchmarkDictInternParallel|BenchmarkEvalTwoHopJoin|BenchmarkCachedQuery|BenchmarkBulkLoad|BenchmarkSnapshotSave|BenchmarkWALAppend|BenchmarkRecovery1M|BenchmarkDurableAdd)$$
+BENCH_CI_PKGS := ./internal/store/ ./internal/sparql/ ./internal/endpoint/ ./internal/store/persist/
 BENCH_CI_FLAGS := -run '^$$' -bench '$(BENCH_CI_PATTERN)' -benchtime=200ms -count=4 -cpu=1 -timeout=20m
 
-.PHONY: all test vet fmt race fuzz bench bench-endpoint bench-ci bench-gate bench-baseline build
+.PHONY: all test vet fmt race fuzz crashtest bench bench-endpoint bench-ci bench-gate bench-baseline build
 
 all: build test
 
@@ -50,10 +55,13 @@ test: vet
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/store/ ./internal/sparql/ ./internal/endpoint/ ./internal/federation/
+	$(GO) test -race ./internal/store/ ./internal/store/persist/ ./internal/sparql/ ./internal/endpoint/ ./internal/federation/
 
 fuzz:
 	$(GO) test ./internal/sparql/ -run '^$$' -fuzz 'FuzzParse' -fuzztime=30s
+
+crashtest:
+	SAPPHIRE_CRASH_SEEDS=512 $(GO) test ./internal/store/persist/ -run 'TestCrashRecoveryProperty' -v -timeout=30m
 
 bench:
 	$(GO) test -run '^$$' -bench=. -benchmem -count=3 ./... | tee $(BENCH_OUT)

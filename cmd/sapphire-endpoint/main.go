@@ -4,18 +4,34 @@
 //
 //	curl -s 'http://localhost:8890/sparql' \
 //	  --data-urlencode 'query=SELECT ?s WHERE { ?s a <http://dbpedia.org/ontology/Writer> . } LIMIT 5'
+//
+// With -data-dir the store is durable: the first start generates the
+// dataset and snapshots it; later starts recover from the snapshot +
+// WAL instead of regenerating, triples POSTed to /add are write-ahead
+// logged under the -fsync policy, and SIGTERM/SIGINT triggers a
+// graceful shutdown snapshot:
+//
+//	sapphire-endpoint -data-dir ./endpoint-data -fsync interval
+//	curl -s http://localhost:8890/add --data-binary \
+//	  '<http://x/s> <http://x/p> "new fact" .'
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"sapphire/internal/datagen"
 	"sapphire/internal/endpoint"
+	"sapphire/internal/rdf"
 	"sapphire/internal/store"
+	"sapphire/internal/store/persist"
 )
 
 func main() {
@@ -31,6 +47,11 @@ func main() {
 			"byte budget for the query result cache, keyed by (query, store epoch) (0 = no caching)")
 		shards = flag.Int("shards", store.DefaultShards(),
 			"store shard count: subject-hash partitions with per-shard locks/epochs (1 = unsharded, whole-batch commit atomicity)")
+		dataDir = flag.String("data-dir", "",
+			"durable store directory: recover on start, WAL /add writes, snapshot on shutdown (empty = in-memory only)")
+		snapshotEvery = flag.Int("snapshot-every", 0,
+			"take an automatic snapshot after this many WAL-logged triples (0 = only on shutdown)")
+		fsync = flag.String("fsync", "always", "WAL fsync policy: always | interval | off")
 	)
 	flag.Parse()
 
@@ -43,11 +64,50 @@ func main() {
 		cfg = datagen.SmallConfig()
 	}
 	cfg.Seed = *seed
-	start := time.Now()
-	d := datagen.Generate(cfg)
-	log.Printf("generated %d triples in %v", d.Store.Len(), time.Since(start).Round(time.Millisecond))
 
-	ep := endpoint.NewLocal("synthetic-dbpedia", d.Store, endpoint.Limits{
+	var (
+		st *store.Store
+		db *persist.DB
+	)
+	if *dataDir != "" {
+		policy, err := persist.ParseFsyncPolicy(*fsync)
+		if err != nil {
+			log.Fatal(err)
+		}
+		start := time.Now()
+		var info persist.RecoveryInfo
+		db, info, err = persist.Open(*dataDir, persist.Options{
+			Fsync:         policy,
+			SnapshotEvery: *snapshotEvery,
+			Shards:        *shards,
+		})
+		if err != nil {
+			log.Fatalf("open %s: %v", *dataDir, err)
+		}
+		st = db.Store()
+		if st.Len() == 0 {
+			log.Printf("empty data dir, generating dataset ...")
+			err := db.Ingest(func(s *store.Store) error {
+				datagen.GenerateInto(cfg, s)
+				return nil
+			})
+			if err != nil {
+				log.Fatalf("ingest: %v", err)
+			}
+			log.Printf("generated and snapshotted %d triples in %v",
+				st.Len(), time.Since(start).Round(time.Millisecond))
+		} else {
+			log.Printf("recovered %d triples from %s (generation %d, %d WAL records) in %v",
+				st.Len(), *dataDir, info.Generation, info.WALRecords,
+				time.Since(start).Round(time.Millisecond))
+		}
+	} else {
+		start := time.Now()
+		st = datagen.Generate(cfg).Store
+		log.Printf("generated %d triples in %v", st.Len(), time.Since(start).Round(time.Millisecond))
+	}
+
+	ep := endpoint.NewLocal("synthetic-dbpedia", st, endpoint.Limits{
 		MaxIntermediateRows: *maxRows,
 		Latency:             *latency,
 		RejectEstimateAbove: *reject,
@@ -64,6 +124,64 @@ func main() {
 			s.CacheHits, s.CacheRawHits, s.CacheMisses, s.CacheCoalesced, s.CacheEvicted,
 			s.CacheBytes, s.CacheEntries)
 	})
+	if db != nil {
+		mux.HandleFunc("/add", addHandler(db))
+	}
+
+	srv := &http.Server{Addr: *addr, Handler: mux}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Shutdown(sctx)
+	}()
+
 	log.Printf("SPARQL endpoint on %s/sparql", *addr)
-	log.Fatal(http.ListenAndServe(*addr, mux))
+	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		log.Fatal(err)
+	}
+	if db != nil {
+		log.Printf("shutting down: snapshotting %d triples ...", st.Len())
+		if info, err := db.Snapshot(); err != nil {
+			log.Printf("shutdown snapshot failed (WAL still covers the data): %v", err)
+		} else {
+			log.Printf("snapshot: epoch %d, %d triples, %d terms, %d bytes",
+				info.Epoch, info.Triples, info.Terms, info.Bytes)
+		}
+		if err := db.Close(); err != nil {
+			log.Printf("close: %v", err)
+		}
+	}
+}
+
+// addHandler accepts N-Triples in the POST body and applies them as one
+// durable batch: WAL-logged with a commit marker, so a crash mid-add
+// keeps either all of the batch or none of it.
+func addHandler(db *persist.DB) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST N-Triples to /add", http.StatusMethodNotAllowed)
+			return
+		}
+		rd := rdf.NewReader(io.LimitReader(r.Body, 64<<20))
+		var triples []rdf.Triple
+		for {
+			tr, err := rd.Read()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			triples = append(triples, tr)
+		}
+		if err := db.AddAll(triples); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		fmt.Fprintf(w, "added %d triples\n", len(triples))
+	}
 }

@@ -8,6 +8,14 @@
 // the whole dump) and initializes that with the warehouse queries:
 //
 //	sapphire-init -data dump.nt -save dump.cache
+//
+// Adding -data-dir makes the warehouse durable: the first run ingests
+// the dump and snapshots it there, and later runs (with or without
+// -data) recover from the snapshot instead of re-parsing N-Triples —
+// the restart is several times faster:
+//
+//	sapphire-init -data dump.nt -data-dir ./wh -save dump.cache
+//	sapphire-init -data-dir ./wh -save dump.cache   # later, no re-parse
 package main
 
 import (
@@ -20,6 +28,8 @@ import (
 
 	"sapphire/internal/bootstrap"
 	"sapphire/internal/endpoint"
+	"sapphire/internal/store"
+	"sapphire/internal/store/persist"
 )
 
 func main() {
@@ -34,14 +44,16 @@ func main() {
 		timeout   = flag.Duration("timeout", 10*time.Minute, "overall initialization deadline")
 		warehouse = flag.Bool("warehouse", false, "use the warehousing-architecture queries Q9/Q10 (no timeout gymnastics)")
 		saveTo    = flag.String("save", "", "write the cache to this file for later reuse")
+		dataDir   = flag.String("data-dir", "", "durable warehouse directory: ingest -data into it once, recover from it on later runs")
+		fsync     = flag.String("fsync", "always", "WAL fsync policy for -data-dir: always | interval | off")
 	)
 	flag.Parse()
-	if *url == "" && *data == "" {
+	if *url == "" && *data == "" && *dataDir == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if *url != "" && *data != "" {
-		log.Fatal("-endpoint and -data are mutually exclusive: initialize a URL or a local dump, not both")
+	if *url != "" && (*data != "" || *dataDir != "") {
+		log.Fatal("-endpoint and -data/-data-dir are mutually exclusive: initialize a URL or a local dump, not both")
 	}
 	cfg := bootstrap.Config{
 		MaxLiteralLength:   *maxLen,
@@ -58,7 +70,41 @@ func main() {
 	if *warehouse {
 		initFn = bootstrap.InitializeWarehouse
 	}
-	if *data != "" {
+	switch {
+	case *dataDir != "":
+		policy, err := persist.ParseFsyncPolicy(*fsync)
+		if err != nil {
+			log.Fatal(err)
+		}
+		loadStart := time.Now()
+		db, info, err := persist.Open(*dataDir, persist.Options{Fsync: policy})
+		if err != nil {
+			log.Fatalf("open %s: %v", *dataDir, err)
+		}
+		defer db.Close()
+		st := db.Store()
+		switch {
+		case st.Len() > 0:
+			log.Printf("recovered %d triples from %s (generation %d) in %v",
+				st.Len(), *dataDir, info.Generation, time.Since(loadStart).Round(time.Millisecond))
+		case *data != "":
+			f, err := os.Open(*data)
+			if err != nil {
+				log.Fatalf("open data: %v", err)
+			}
+			err = db.Ingest(func(s *store.Store) error { return store.LoadNTriples(s, f) })
+			f.Close()
+			if err != nil {
+				log.Fatalf("bulk load failed: %v", err)
+			}
+			log.Printf("bulk-loaded and snapshotted %d triples in %v", st.Len(),
+				time.Since(loadStart).Round(time.Millisecond))
+		default:
+			log.Fatalf("data dir %s is empty and no -data dump was given", *dataDir)
+		}
+		ep = endpoint.NewLocal(*dataDir, st, endpoint.Limits{})
+		initFn = bootstrap.InitializeWarehouse
+	case *data != "":
 		f, err := os.Open(*data)
 		if err != nil {
 			log.Fatalf("open data: %v", err)
@@ -75,7 +121,7 @@ func main() {
 		// straight-line warehouse queries Q9/Q10.
 		ep = local
 		initFn = bootstrap.InitializeWarehouse
-	} else {
+	default:
 		ep = endpoint.NewClient(*url)
 	}
 	log.Printf("initializing %s ...", ep.Name())
@@ -84,14 +130,7 @@ func main() {
 		log.Fatalf("initialization failed: %v", err)
 	}
 	if *saveTo != "" {
-		f, err := os.Create(*saveTo)
-		if err != nil {
-			log.Fatalf("save: %v", err)
-		}
-		if err := cache.Save(f); err != nil {
-			log.Fatalf("save: %v", err)
-		}
-		if err := f.Close(); err != nil {
+		if err := cache.SaveFile(*saveTo); err != nil {
 			log.Fatalf("save: %v", err)
 		}
 		log.Printf("cache written to %s", *saveTo)

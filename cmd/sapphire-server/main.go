@@ -16,12 +16,15 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"sapphire"
 	"sapphire/internal/endpoint"
 	"sapphire/internal/store"
+	"sapphire/internal/store/persist"
 	"sapphire/internal/webapi"
 )
 
@@ -38,17 +41,51 @@ func main() {
 		"how often to re-check member epochs for cache invalidation (0 = every query, negative = never)")
 	shards := flag.Int("shards", store.DefaultShards(),
 		"shard count for any in-process store built by this server (warehouses, local endpoints); 1 = unsharded")
+	dataDir := flag.String("data-dir", "",
+		"durable store directory to serve as an in-process federation member (populate it with sapphire-init -data-dir); snapshot on shutdown")
+	snapshotEvery := flag.Int("snapshot-every", 0,
+		"take an automatic snapshot of the -data-dir store after this many WAL-logged triples (0 = only on shutdown)")
+	fsync := flag.String("fsync", "always", "WAL fsync policy for -data-dir: always | interval | off")
 	flag.Var(&endpoints, "endpoint", "SPARQL endpoint URL to register (repeatable)")
 	flag.Var(&cachedEndpoints, "cached-endpoint", "URL=cachefile pair registering an endpoint from a saved cache (repeatable)")
 	flag.Parse()
 	store.SetDefaultShards(*shards)
-	if len(endpoints)+len(cachedEndpoints) == 0 {
-		log.Fatal("at least one -endpoint or -cached-endpoint is required")
+	if len(endpoints)+len(cachedEndpoints) == 0 && *dataDir == "" {
+		log.Fatal("at least one -endpoint, -cached-endpoint, or -data-dir is required")
 	}
 
 	cfg := sapphire.Defaults()
 	cfg.FedEpochPoll = *epochPoll
 	client := sapphire.New(cfg)
+
+	var db *persist.DB
+	if *dataDir != "" {
+		policy, err := persist.ParseFsyncPolicy(*fsync)
+		if err != nil {
+			log.Fatal(err)
+		}
+		start := time.Now()
+		var info persist.RecoveryInfo
+		db, info, err = persist.Open(*dataDir, persist.Options{
+			Fsync:         policy,
+			SnapshotEvery: *snapshotEvery,
+		})
+		if err != nil {
+			log.Fatalf("open %s: %v", *dataDir, err)
+		}
+		if db.Store().Len() == 0 {
+			log.Fatalf("data dir %s holds no triples; populate it first (sapphire-init -data dump.nt -data-dir %s)", *dataDir, *dataDir)
+		}
+		log.Printf("recovered %d triples from %s (generation %d) in %v",
+			db.Store().Len(), *dataDir, info.Generation, time.Since(start).Round(time.Millisecond))
+		ctx, cancel := context.WithTimeout(context.Background(), *initTimeout)
+		err = client.RegisterEndpoint(ctx, endpoint.NewLocal(*dataDir, db.Store(), endpoint.Limits{}))
+		cancel()
+		if err != nil {
+			log.Fatalf("register %s: %v", *dataDir, err)
+		}
+		log.Printf("registered durable store %s", *dataDir)
+	}
 	for _, url := range endpoints {
 		ctx, cancel := context.WithTimeout(context.Background(), *initTimeout)
 		log.Printf("registering %s (full initialization) ...", url)
@@ -79,6 +116,25 @@ func main() {
 	log.Printf("cache ready: %d predicates, %d literals (%d significant)",
 		st.PredicateCount, st.LiteralCount, st.SignificantCount)
 
+	srv := &http.Server{Addr: *addr, Handler: webapi.Handler(client)}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Shutdown(sctx)
+	}()
 	log.Printf("Sapphire server on %s", *addr)
-	log.Fatal(http.ListenAndServe(*addr, webapi.Handler(client)))
+	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		log.Fatal(err)
+	}
+	if db != nil {
+		if _, err := db.Snapshot(); err != nil {
+			log.Printf("shutdown snapshot failed (WAL still covers the data): %v", err)
+		}
+		if err := db.Close(); err != nil {
+			log.Printf("close: %v", err)
+		}
+	}
 }

@@ -140,7 +140,13 @@ var classHierarchy = map[string]string{
 // path: every triple is buffered and the indexes are built in a single
 // commit.
 func Generate(cfg Config) *Dataset {
-	st := store.New()
+	return GenerateInto(cfg, store.New())
+}
+
+// GenerateInto is Generate targeting an existing (empty) store — the
+// durable serving path generates straight into a recovered store so the
+// dataset can be snapshotted without an intermediate copy.
+func GenerateInto(cfg Config, st *store.Store) *Dataset {
 	d := &Dataset{Store: st, Cfg: cfg, loader: store.NewBulkLoader(st)}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	d.addHierarchy()

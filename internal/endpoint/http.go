@@ -10,7 +10,6 @@ import (
 	"net/url"
 	"strconv"
 	"strings"
-	"time"
 
 	"sapphire/internal/rdf"
 	"sapphire/internal/sparql"
@@ -179,14 +178,27 @@ type remoteEpoched interface{ epochViaNetwork() }
 func (c *Client) epochViaNetwork() {}
 
 // Client is an Endpoint talking to a remote SPARQL HTTP endpoint.
+// Queries are retried per the client's RetryPolicy — see NewClient.
 type Client struct {
-	url    string
-	client *http.Client
+	url     string
+	client  *http.Client
+	retrier *retrier
 }
 
-// NewClient returns a client for the endpoint at rawURL.
+// NewClient returns a client for the endpoint at rawURL with the
+// default RetryPolicy: transient failures (connection errors, 5xx)
+// retry a bounded number of times with jittered exponential backoff,
+// each attempt under its own timeout.
 func NewClient(rawURL string) *Client {
-	return &Client{url: rawURL, client: &http.Client{Timeout: 30 * time.Second}}
+	return NewClientWithPolicy(rawURL, RetryPolicy{})
+}
+
+// NewClientWithPolicy returns a client with an explicit RetryPolicy.
+// Zero fields select defaults; MaxAttempts 1 disables retries.
+func NewClientWithPolicy(rawURL string, p RetryPolicy) *Client {
+	// No whole-query http.Client timeout: the per-attempt context bounds
+	// each try, and the caller's context bounds the whole exchange.
+	return &Client{url: rawURL, client: &http.Client{}, retrier: newRetrier(p)}
 }
 
 // Name implements Endpoint.
@@ -203,6 +215,10 @@ func (c *Client) Epoch(ctx context.Context) (uint64, bool) {
 	} else {
 		u += "?epoch"
 	}
+	// One attempt under the per-attempt timeout: the probe's failure mode
+	// (ok=false) already has a graceful fallback, so it never retries.
+	ctx, cancel := context.WithTimeout(ctx, c.retrier.policy.perAttempt())
+	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
 	if err != nil {
 		return 0, false
@@ -230,33 +246,72 @@ func (c *Client) Epoch(ctx context.Context) (uint64, bool) {
 // the SPARQL JSON results. HTTP 503 maps back to ErrTimeout and 429 to
 // ErrRejected so callers can react uniformly to local and remote
 // endpoints.
+//
+// Transient failures — connection errors and 5xx statuses, including
+// the 503 a Handler emits for an evaluation timeout — are retried per
+// the client's RetryPolicy with jittered exponential backoff, each
+// attempt under its own timeout. 429/ErrRejected and other 4xx fail
+// immediately: the server rejected the query itself, and re-sending it
+// unchanged cannot succeed. A done parent context stops the loop
+// mid-backoff or mid-attempt.
 func (c *Client) Query(ctx context.Context, query string) (*sparql.Results, error) {
+	attempts := c.retrier.policy.attempts()
+	var lastErr error
+	for attempt := 1; attempt <= attempts; attempt++ {
+		if attempt > 1 {
+			if err := sleep(ctx, c.retrier.backoff(attempt-1)); err != nil {
+				return nil, fmt.Errorf("endpoint %s: %w (last attempt: %v)", c.url, err, lastErr)
+			}
+		}
+		res, retryable, err := c.queryOnce(ctx, query)
+		if err == nil {
+			return res, nil
+		}
+		lastErr = err
+		if !retryable {
+			return nil, err
+		}
+	}
+	return nil, fmt.Errorf("endpoint %s: after %d attempts: %w", c.url, attempts, lastErr)
+}
+
+// queryOnce runs one attempt under the per-attempt timeout. retryable
+// classifies the failure: true for transport errors and 5xx (transient,
+// worth another attempt), false for everything the server decided about
+// the query itself.
+func (c *Client) queryOnce(ctx context.Context, query string) (_ *sparql.Results, retryable bool, _ error) {
+	actx, cancel := context.WithTimeout(ctx, c.retrier.policy.perAttempt())
+	defer cancel()
 	form := url.Values{"query": {query}}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.url, strings.NewReader(form.Encode()))
+	req, err := http.NewRequestWithContext(actx, http.MethodPost, c.url, strings.NewReader(form.Encode()))
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	req.Header.Set("Content-Type", "application/x-www-form-urlencoded")
 	req.Header.Set("Accept", "application/sparql-results+json")
 	resp, err := c.client.Do(req)
 	if err != nil {
-		return nil, err
+		// Transport-level failure (or per-attempt timeout): retryable
+		// unless the caller's own context is what ended it.
+		return nil, ctx.Err() == nil, fmt.Errorf("endpoint %s: %w", c.url, err)
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
-		switch resp.StatusCode {
-		case http.StatusServiceUnavailable:
-			return nil, fmt.Errorf("%s: %w", strings.TrimSpace(string(msg)), ErrTimeout)
-		case http.StatusTooManyRequests:
-			return nil, fmt.Errorf("%s: %w", strings.TrimSpace(string(msg)), ErrRejected)
+		switch {
+		case resp.StatusCode == http.StatusServiceUnavailable:
+			return nil, true, fmt.Errorf("%s: %w", strings.TrimSpace(string(msg)), ErrTimeout)
+		case resp.StatusCode == http.StatusTooManyRequests:
+			return nil, false, fmt.Errorf("%s: %w", strings.TrimSpace(string(msg)), ErrRejected)
+		case resp.StatusCode >= 500:
+			return nil, true, fmt.Errorf("endpoint %s: HTTP %d: %s", c.url, resp.StatusCode, strings.TrimSpace(string(msg)))
 		default:
-			return nil, fmt.Errorf("endpoint %s: HTTP %d: %s", c.url, resp.StatusCode, strings.TrimSpace(string(msg)))
+			return nil, false, fmt.Errorf("endpoint %s: HTTP %d: %s", c.url, resp.StatusCode, strings.TrimSpace(string(msg)))
 		}
 	}
 	var jr jsonResults
 	if err := json.NewDecoder(resp.Body).Decode(&jr); err != nil {
-		return nil, fmt.Errorf("endpoint %s: bad JSON: %w", c.url, err)
+		return nil, false, fmt.Errorf("endpoint %s: bad JSON: %w", c.url, err)
 	}
 	res := &sparql.Results{Vars: jr.Head.Vars}
 	for _, b := range jr.Results.Bindings {
@@ -264,11 +319,11 @@ func (c *Client) Query(ctx context.Context, query string) (*sparql.Results, erro
 		for v, jt := range b {
 			t, err := fromJSONTerm(jt)
 			if err != nil {
-				return nil, err
+				return nil, false, err
 			}
 			row[v] = t
 		}
 		res.Rows = append(res.Rows, row)
 	}
-	return res, nil
+	return res, false, nil
 }

@@ -1,0 +1,115 @@
+package endpoint
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// RetryPolicy bounds how a Client re-issues a failed query. Public
+// SPARQL endpoints drop connections and shed load routinely; one bare
+// attempt per query turns every transient hiccup into a failed
+// initialization or relaxation step. The policy is deliberately small:
+// bounded attempts, exponential backoff with jitter (so a fleet of
+// clients recovering from one outage does not reconverge in lockstep),
+// and a per-attempt timeout so one black-holed connection cannot eat
+// the whole query budget.
+//
+// What retries and what does not follows the error's meaning, not its
+// transport: connection failures and 5xx responses (including the 503
+// the Handler emits for ErrTimeout) are transient and retry; 429 /
+// ErrRejected means the server judged the query itself too expensive —
+// retrying it verbatim is exactly what the rejection asked us not to
+// do — and other 4xx are caller bugs, so both fail immediately.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of attempts including the first.
+	// Values < 1 select the default (4).
+	MaxAttempts int
+	// BaseDelay is the backoff before the second attempt; each further
+	// attempt doubles it. Zero selects the default (250ms).
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff growth. Zero selects the default (5s).
+	MaxDelay time.Duration
+	// PerAttempt bounds each individual attempt. Zero selects the
+	// default (30s — the old whole-query client timeout, now applied
+	// per attempt).
+	PerAttempt time.Duration
+	// Seed makes the jitter deterministic for tests; 0 seeds from the
+	// global source.
+	Seed int64
+}
+
+const (
+	defaultMaxAttempts = 4
+	defaultBaseDelay   = 250 * time.Millisecond
+	defaultMaxDelay    = 5 * time.Second
+	defaultPerAttempt  = 30 * time.Second
+)
+
+func (p RetryPolicy) attempts() int {
+	if p.MaxAttempts < 1 {
+		return defaultMaxAttempts
+	}
+	return p.MaxAttempts
+}
+
+func (p RetryPolicy) perAttempt() time.Duration {
+	if p.PerAttempt <= 0 {
+		return defaultPerAttempt
+	}
+	return p.PerAttempt
+}
+
+// backoff returns the jittered delay before attempt (1 = the first
+// retry): the exponential step, halved and topped back up with a
+// uniformly random half so concurrent clients spread out.
+func (p RetryPolicy) backoff(attempt int, rng *rand.Rand) time.Duration {
+	base, maxd := p.BaseDelay, p.MaxDelay
+	if base <= 0 {
+		base = defaultBaseDelay
+	}
+	if maxd <= 0 {
+		maxd = defaultMaxDelay
+	}
+	d := base << (attempt - 1)
+	if d > maxd || d <= 0 { // <= 0: shift overflow
+		d = maxd
+	}
+	half := d / 2
+	return half + time.Duration(rng.Int63n(int64(half)+1))
+}
+
+// retrier is the mutable retry state a Client owns: a locked RNG (a
+// Client is used concurrently by federation fan-out).
+type retrier struct {
+	policy RetryPolicy
+	mu     sync.Mutex
+	rng    *rand.Rand
+}
+
+func newRetrier(p RetryPolicy) *retrier {
+	seed := p.Seed
+	if seed == 0 {
+		seed = rand.Int63()
+	}
+	return &retrier{policy: p, rng: rand.New(rand.NewSource(seed))}
+}
+
+func (r *retrier) backoff(attempt int) time.Duration {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.policy.backoff(attempt, r.rng)
+}
+
+// sleep waits d or until ctx is done, whichever comes first.
+func sleep(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}

@@ -1,0 +1,94 @@
+package rdf
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Binary term codec shared by the durable-storage layer: snapshot
+// dictionary sections and WAL records both serialize terms with it. The
+// encoding is one kind byte followed by the three lexical components as
+// uvarint-length-prefixed byte strings:
+//
+//	kind(u8) | len(value) value | len(lang) lang | len(datatype) datatype
+//
+// It is not self-delimiting beyond its own fields and carries no
+// checksum; framing and integrity are the container format's job.
+
+// AppendTerm appends the binary encoding of t to b and returns the
+// extended slice.
+func AppendTerm(b []byte, t Term) []byte {
+	b = append(b, byte(t.Kind))
+	b = binary.AppendUvarint(b, uint64(len(t.Value)))
+	b = append(b, t.Value...)
+	b = binary.AppendUvarint(b, uint64(len(t.Lang)))
+	b = append(b, t.Lang...)
+	b = binary.AppendUvarint(b, uint64(len(t.Datatype)))
+	b = append(b, t.Datatype...)
+	return b
+}
+
+// AppendTriple appends the binary encodings of the triple's three terms.
+func AppendTriple(b []byte, tr Triple) []byte {
+	b = AppendTerm(b, tr.S)
+	b = AppendTerm(b, tr.P)
+	b = AppendTerm(b, tr.O)
+	return b
+}
+
+// DecodeTerm decodes one term from the front of b, returning the term
+// and the number of bytes consumed. Malformed input (unknown kind,
+// lengths running past the buffer) returns an error, never a panic —
+// the durable layer decodes data that may have been corrupted on disk.
+func DecodeTerm(b []byte) (Term, int, error) {
+	if len(b) == 0 {
+		return Term{}, 0, fmt.Errorf("rdf: decoding term: empty input")
+	}
+	k := TermKind(b[0])
+	if k != KindIRI && k != KindLiteral && k != KindBlank {
+		return Term{}, 0, fmt.Errorf("rdf: decoding term: invalid kind %d", b[0])
+	}
+	n := 1
+	value, sz, err := decodeString(b[n:])
+	if err != nil {
+		return Term{}, 0, err
+	}
+	n += sz
+	lang, sz, err := decodeString(b[n:])
+	if err != nil {
+		return Term{}, 0, err
+	}
+	n += sz
+	datatype, sz, err := decodeString(b[n:])
+	if err != nil {
+		return Term{}, 0, err
+	}
+	n += sz
+	return Term{Kind: k, Value: value, Lang: lang, Datatype: datatype}, n, nil
+}
+
+// DecodeTriple decodes three consecutive terms from the front of b.
+func DecodeTriple(b []byte) (Triple, int, error) {
+	var tr Triple
+	n := 0
+	for _, dst := range []*Term{&tr.S, &tr.P, &tr.O} {
+		t, sz, err := DecodeTerm(b[n:])
+		if err != nil {
+			return Triple{}, 0, err
+		}
+		*dst = t
+		n += sz
+	}
+	return tr, n, nil
+}
+
+func decodeString(b []byte) (string, int, error) {
+	l, sz := binary.Uvarint(b)
+	if sz <= 0 {
+		return "", 0, fmt.Errorf("rdf: decoding term: bad length prefix")
+	}
+	if l > uint64(len(b)-sz) {
+		return "", 0, fmt.Errorf("rdf: decoding term: length %d exceeds remaining %d bytes", l, len(b)-sz)
+	}
+	return string(b[sz : sz+int(l)]), sz + int(l), nil
+}

@@ -118,6 +118,13 @@ type dict struct {
 	labeled       atomic.Uint32
 	rankOrder     []ID
 
+	// base is the term-sorted ID list a snapshot restore installs
+	// instead of populating the per-shard intern maps (see
+	// dict.restore). Immutable once set, and set only before the store
+	// is published, so it is read without locks. Empty for stores that
+	// were never restored.
+	base []ID
+
 	seed maphash.Seed
 }
 
@@ -212,6 +219,13 @@ func (d *dict) internLocked(ds *dictShard, t rdf.Term) ID {
 	if id, ok := ds.ids[t]; ok {
 		return id
 	}
+	if id, ok := d.baseLookup(&t); ok {
+		// A restored term seen for the first time since the restore:
+		// memoize it so subsequent interns hit the shard map's read-lock
+		// fast path. Already counted in terms at restore time.
+		ds.ids[t] = id
+		return id
+	}
 	if ds.next == ds.end {
 		d.claimRange(ds)
 	}
@@ -297,13 +311,40 @@ func (d *dict) internAll(ts []rdf.Term, ids []ID, buckets [][]int32) [][]int32 {
 }
 
 // lookup returns the ID for t without interning, locking only t's
-// dictionary shard.
+// dictionary shard. Terms carried over by a snapshot restore that have
+// not been re-interned since live only in the base list; the map miss
+// falls through to the binary search.
 func (d *dict) lookup(t rdf.Term) (ID, bool) {
 	ds := d.shardFor(t)
 	ds.mu.RLock()
 	id, ok := ds.ids[t]
 	ds.mu.RUnlock()
+	if !ok {
+		return d.baseLookup(&t)
+	}
 	return id, ok
+}
+
+// baseLookup binary-searches the restored term-sorted base for t,
+// resolving candidate IDs through the spine. Lock-free: the base is
+// immutable and every ID in it was published (spine slot written)
+// before the store existed for callers. ~20 term compares on a restored
+// million-term dictionary, and only for terms not yet re-interned —
+// intern memoizes hits into the shard maps.
+func (d *dict) baseLookup(t *rdf.Term) (ID, bool) {
+	if len(d.base) == 0 {
+		return 0, false
+	}
+	tv := d.view()
+	i := sort.Search(len(d.base), func(i int) bool {
+		return tv.atPtr(d.base[i]).CompareTo(t) >= 0
+	})
+	if i < len(d.base) {
+		if id := d.base[i]; tv.atPtr(id).CompareTo(t) == 0 {
+			return id, true
+		}
+	}
+	return 0, false
 }
 
 // view returns the current lock-free ID→term mapping. Any ID published

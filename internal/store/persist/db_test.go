@@ -1,0 +1,449 @@
+package persist
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"sapphire/internal/rdf"
+	"sapphire/internal/store"
+)
+
+func iri(s string) rdf.Term { return rdf.NewIRI("http://x/" + s) }
+func lit(s string) rdf.Term { return rdf.NewLiteral(s) }
+
+func tr(s, p, o string) rdf.Triple {
+	return rdf.NewTriple(iri(s), iri(p), lit(o))
+}
+
+func batch(prefix string, n int) []rdf.Triple {
+	out := make([]rdf.Triple, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, tr(fmt.Sprintf("%s-s%d", prefix, i), "p", fmt.Sprintf("%s-v%d", prefix, i)))
+	}
+	return out
+}
+
+func dumpStore(t testing.TB, s *store.Store) string {
+	t.Helper()
+	var b bytes.Buffer
+	if err := s.DumpNTriples(&b); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+func mustOpen(t testing.TB, fs FS, opts Options) (*DB, RecoveryInfo) {
+	t.Helper()
+	opts.FS = fs
+	db, info, err := Open("", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db, info
+}
+
+func TestDBRoundTrip(t *testing.T) {
+	fs := NewMemFS()
+	db, info := mustOpen(t, fs, Options{Fsync: FsyncAlways})
+	if info.Triples != 0 || info.Generation != 0 {
+		t.Fatalf("fresh open recovered %+v", info)
+	}
+	if err := db.AddAll(batch("bulk", 500)); err != nil {
+		t.Fatal(err)
+	}
+	if added, err := db.Add(tr("online", "p", "v")); err != nil || !added {
+		t.Fatalf("Add = (%v, %v)", added, err)
+	}
+	if added, err := db.Add(tr("online", "p", "v")); err != nil || added {
+		t.Fatalf("duplicate Add = (%v, %v)", added, err)
+	}
+	want := dumpStore(t, db.Store())
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen: everything came back through WAL replay alone.
+	db2, info := mustOpen(t, fs, Options{Fsync: FsyncAlways})
+	defer db2.Close()
+	if info.Triples != 501 || info.WALTriples == 0 {
+		t.Fatalf("recovery info %+v, want 501 triples via WAL", info)
+	}
+	if got := dumpStore(t, db2.Store()); got != want {
+		t.Fatal("recovered dump differs from pre-restart dump")
+	}
+}
+
+func TestDBSnapshotAndReopen(t *testing.T) {
+	fs := NewMemFS()
+	db, _ := mustOpen(t, fs, Options{Fsync: FsyncAlways})
+	if err := db.AddAll(batch("a", 300)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	if db.Generation() != 1 {
+		t.Fatalf("generation = %d, want 1", db.Generation())
+	}
+	// Post-snapshot mutations land in the new WAL.
+	if _, err := db.Add(tr("after", "p", "v")); err != nil {
+		t.Fatal(err)
+	}
+	want := dumpStore(t, db.Store())
+	wantEpoch := db.Store().Epoch()
+	db.Close()
+
+	db2, info := mustOpen(t, fs, Options{Fsync: FsyncAlways})
+	defer db2.Close()
+	if info.Generation != 1 || info.Snapshot.Triples != 300 {
+		t.Fatalf("recovery info %+v, want snapshot generation 1 with 300 triples", info)
+	}
+	if info.WALTriples != 1 {
+		t.Fatalf("replayed %d WAL triples, want 1", info.WALTriples)
+	}
+	if got := dumpStore(t, db2.Store()); got != want {
+		t.Fatal("recovered dump differs")
+	}
+	// Snapshot restores exact epochs; the replayed Add bumps once.
+	if got := db2.Store().Epoch(); got != wantEpoch {
+		t.Fatalf("recovered epoch %d, want %d", got, wantEpoch)
+	}
+}
+
+func TestRecoveryFallbackToOlderGeneration(t *testing.T) {
+	fs := NewMemFS()
+	db, _ := mustOpen(t, fs, Options{Fsync: FsyncAlways})
+	if err := db.AddAll(batch("gen1", 200)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.AddAll(batch("gen2", 100)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Add(tr("tail", "p", "v")); err != nil {
+		t.Fatal(err)
+	}
+	want := dumpStore(t, db.Store())
+	db.Close()
+
+	// Corrupt the newest snapshot on disk. Recovery must fall back to
+	// generation 1 and rebuild the rest from the generation-1 and -2
+	// WALs — ending at the exact same state.
+	fs.mu.Lock()
+	snap2 := fs.files[snapName(2)]
+	snap2[len(snap2)/2] ^= 0x40
+	fs.mu.Unlock()
+
+	db2, info := mustOpen(t, fs, Options{Fsync: FsyncAlways})
+	defer db2.Close()
+	if !info.Fallback {
+		t.Fatal("recovery did not report fallback")
+	}
+	if info.Generation != 1 {
+		t.Fatalf("recovered from generation %d, want 1", info.Generation)
+	}
+	if got := dumpStore(t, db2.Store()); got != want {
+		t.Fatal("fallback recovery lost state")
+	}
+}
+
+func TestTornWALTailTruncated(t *testing.T) {
+	fs := NewMemFS()
+	db, _ := mustOpen(t, fs, Options{Fsync: FsyncAlways})
+	if err := db.AddAll(batch("solid", 50)); err != nil {
+		t.Fatal(err)
+	}
+	want := dumpStore(t, db.Store())
+	db.Close()
+
+	// Torn tail: half a record of garbage at the end of the WAL.
+	fs.mu.Lock()
+	fs.files[walName(0)] = append(fs.files[walName(0)], 0xDE, 0xAD, 0xBE)
+	fs.mu.Unlock()
+
+	db2, info := mustOpen(t, fs, Options{Fsync: FsyncAlways})
+	if info.TruncatedWALs != 1 {
+		t.Fatalf("TruncatedWALs = %d, want 1", info.TruncatedWALs)
+	}
+	if got := dumpStore(t, db2.Store()); got != want {
+		t.Fatal("torn tail corrupted recovered state")
+	}
+	// The truncated WAL must accept appends again and survive another
+	// restart.
+	if _, err := db2.Add(tr("post-truncate", "p", "v")); err != nil {
+		t.Fatal(err)
+	}
+	want = dumpStore(t, db2.Store())
+	db2.Close()
+	db3, _ := mustOpen(t, fs, Options{Fsync: FsyncAlways})
+	defer db3.Close()
+	if got := dumpStore(t, db3.Store()); got != want {
+		t.Fatal("append-after-truncate state lost")
+	}
+}
+
+func TestUncommittedBatchDiscarded(t *testing.T) {
+	mem := NewMemFS()
+	db, _ := mustOpen(t, mem, Options{Fsync: FsyncAlways})
+	if err := db.AddAll(batch("committed", 30)); err != nil {
+		t.Fatal(err)
+	}
+	want := dumpStore(t, db.Store())
+	db.Close()
+
+	// Hand-write batch records with no commit marker, as a crash
+	// mid-AddAll would leave them.
+	w, err := openWALAppendForTest(mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := appendBatchNoCommit(w, batch("phantom", 20)); err != nil {
+		t.Fatal(err)
+	}
+
+	db2, info := mustOpen(t, mem, Options{Fsync: FsyncAlways})
+	defer db2.Close()
+	if got := dumpStore(t, db2.Store()); got != want {
+		t.Fatal("uncommitted batch leaked into recovered state")
+	}
+	if info.TruncatedWALs != 1 {
+		t.Fatalf("TruncatedWALs = %d, want 1 (uncommitted tail)", info.TruncatedWALs)
+	}
+}
+
+func openWALAppendForTest(fs FS) (*wal, error) {
+	return openWALAppend(fs, walName(0), 0)
+}
+
+// appendBatchNoCommit writes opBatch records without the commit marker.
+func appendBatchNoCommit(w *wal, triples []rdf.Triple) error {
+	p := make([]byte, 0, 1024)
+	p = append(p, opBatch)
+	p = appendU32(p, uint32(len(triples)))
+	for _, tr := range triples {
+		p = rdf.AppendTriple(p, tr)
+	}
+	return w.appendRecord(p)
+}
+
+func appendU32(b []byte, v uint32) []byte {
+	return append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+}
+
+func TestSnapshotEvery(t *testing.T) {
+	fs := NewMemFS()
+	db, _ := mustOpen(t, fs, Options{Fsync: FsyncAlways, SnapshotEvery: 100})
+	for i := 0; i < 250; i++ {
+		if _, err := db.Add(tr(fmt.Sprintf("s%d", i), "p", fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if db.Generation() < 2 {
+		t.Fatalf("generation = %d after 250 adds at SnapshotEvery=100", db.Generation())
+	}
+	want := dumpStore(t, db.Store())
+	db.Close()
+	db2, info := mustOpen(t, fs, Options{Fsync: FsyncAlways})
+	defer db2.Close()
+	if info.Generation < 2 {
+		t.Fatalf("recovered generation %d", info.Generation)
+	}
+	if got := dumpStore(t, db2.Store()); got != want {
+		t.Fatal("auto-snapshot state differs after restart")
+	}
+}
+
+func TestGenerationCleanup(t *testing.T) {
+	fs := NewMemFS()
+	db, _ := mustOpen(t, fs, Options{Fsync: FsyncAlways, KeepGenerations: 2})
+	for g := 0; g < 5; g++ {
+		if err := db.AddAll(batch(fmt.Sprintf("g%d", g), 20)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := db.Snapshot(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	db.Close()
+	names, _ := fs.List()
+	for _, name := range names {
+		for _, prefix := range []string{"snap-", "wal-", manifestPrefix} {
+			var suffix string
+			switch prefix {
+			case "snap-":
+				suffix = snapSuffix
+			case "wal-":
+				suffix = walSuffix
+			default:
+				suffix = manifestSuffix
+			}
+			if g, ok := parseGen(name, prefix, suffix); ok && g < 4 {
+				t.Errorf("generation %d file %s survived cleanup", g, name)
+			}
+		}
+	}
+	db2, info := mustOpen(t, fs, Options{Fsync: FsyncAlways})
+	defer db2.Close()
+	if info.Generation != 5 || info.Triples != 100 {
+		t.Fatalf("recovery after cleanup %+v", info)
+	}
+}
+
+func TestFsyncPolicies(t *testing.T) {
+	for _, policy := range []FsyncPolicy{FsyncAlways, FsyncInterval, FsyncOff} {
+		t.Run(policy.String(), func(t *testing.T) {
+			fs := NewMemFS()
+			db, _ := mustOpen(t, fs, Options{Fsync: policy, FsyncInterval: 5 * time.Millisecond})
+			if err := db.AddAll(batch("x", 50)); err != nil {
+				t.Fatal(err)
+			}
+			if policy == FsyncInterval {
+				time.Sleep(15 * time.Millisecond) // let the sync loop tick
+			}
+			want := dumpStore(t, db.Store())
+			if err := db.Close(); err != nil {
+				t.Fatal(err)
+			}
+			db2, _ := mustOpen(t, fs, Options{Fsync: policy, FsyncInterval: 5 * time.Millisecond})
+			got := dumpStore(t, db2.Store())
+			db2.Close()
+			if got != want {
+				t.Fatal("state lost across restart")
+			}
+		})
+	}
+}
+
+func TestParseFsyncPolicy(t *testing.T) {
+	for s, want := range map[string]FsyncPolicy{"always": FsyncAlways, "interval": FsyncInterval, "off": FsyncOff} {
+		got, err := ParseFsyncPolicy(s)
+		if err != nil || got != want {
+			t.Errorf("ParseFsyncPolicy(%q) = (%v, %v)", s, got, err)
+		}
+	}
+	if _, err := ParseFsyncPolicy("sometimes"); err == nil {
+		t.Error("bad policy accepted")
+	}
+	if !strings.Contains(FsyncInterval.String(), "interval") {
+		t.Error("FsyncPolicy.String")
+	}
+}
+
+// TestOSFS exercises the real-filesystem implementation end to end:
+// create, append, rename, truncate, directory sync, restart.
+func TestOSFS(t *testing.T) {
+	dir := t.TempDir()
+	db, _, err := Open(dir, Options{Fsync: FsyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.AddAll(batch("disk", 100)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Add(tr("tail", "p", "v")); err != nil {
+		t.Fatal(err)
+	}
+	want := dumpStore(t, db.Store())
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	db2, info, err := Open(dir, Options{Fsync: FsyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if info.Generation != 1 || info.Triples != 101 {
+		t.Fatalf("recovery info %+v", info)
+	}
+	if got := dumpStore(t, db2.Store()); got != want {
+		t.Fatal("on-disk restart lost state")
+	}
+}
+
+// TestDBConcurrent races Adds, AddAlls, snapshots, and readers through
+// the DB; run under -race. The DB serializes mutations, the store
+// serves concurrent reads, and the final state must survive a restart.
+func TestDBConcurrent(t *testing.T) {
+	fs := NewMemFS()
+	db, _ := mustOpen(t, fs, Options{Fsync: FsyncOff})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				if _, err := db.Add(tr(fmt.Sprintf("w%d-s%d", w, i), "p", "v")); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 5; i++ {
+			if _, err := db.Snapshot(); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			db.Store().Match(rdf.Term{}, rdf.Term{}, rdf.Term{}, func(rdf.Triple) bool { return true })
+		}
+	}()
+	wg.Wait()
+	want := dumpStore(t, db.Store())
+	db.Close()
+	db2, _ := mustOpen(t, fs, Options{Fsync: FsyncOff})
+	defer db2.Close()
+	if got := dumpStore(t, db2.Store()); got != want {
+		t.Fatal("concurrent workload state lost across restart")
+	}
+}
+
+func TestIngestBypassesWALButSnapshots(t *testing.T) {
+	fs := NewMemFS()
+	db, _ := mustOpen(t, fs, Options{Fsync: FsyncAlways})
+	err := db.Ingest(func(s *store.Store) error {
+		l := store.NewBulkLoader(s)
+		if err := l.AddAll(batch("ingested", 400)); err != nil {
+			return err
+		}
+		l.Commit()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Generation() != 1 {
+		t.Fatalf("Ingest did not snapshot (generation %d)", db.Generation())
+	}
+	want := dumpStore(t, db.Store())
+	db.Close()
+	db2, info := mustOpen(t, fs, Options{Fsync: FsyncAlways})
+	defer db2.Close()
+	if info.Snapshot.Triples != 400 {
+		t.Fatalf("recovered snapshot %+v", info.Snapshot)
+	}
+	if got := dumpStore(t, db2.Store()); got != want {
+		t.Fatal("ingested state lost")
+	}
+}

@@ -1,0 +1,296 @@
+package persist
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"sapphire/internal/rdf"
+	"sapphire/internal/store"
+)
+
+// Write-ahead log. One WAL file exists per snapshot generation and logs
+// every mutation applied after that snapshot. Layout:
+//
+//	magic "SPHRWAL1"
+//	records: u32 payloadLen | u32 crc32c(payload) | payload
+//	payload: u8 op | body
+//	  opAdd    (1): one binary triple — applied immediately on replay.
+//	  opBatch  (2): u32 count | count binary triples — buffered on
+//	                replay, applied only when a commit marker follows.
+//	  opCommit (3): empty — applies all buffered batches atomically
+//	                through the bulk loader.
+//
+// Replay stops at the first record that fails its length or checksum
+// check and truncates the file there: a torn tail disappears, and every
+// record before it is honored. Batch records without a trailing commit
+// marker are discarded too — a bulk load is durable only once its
+// commit marker is on disk, mirroring the in-memory staging contract.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+const (
+	walMagic = "SPHRWAL1"
+
+	opAdd    = 1
+	opBatch  = 2
+	opCommit = 3
+
+	// walBatchChunk bounds triples per opBatch record so a torn batch
+	// loses one record, not the whole load, and record sizes stay
+	// cache-friendly.
+	walBatchChunk = 4096
+
+	// walMaxRecord rejects absurd record lengths before allocating.
+	walMaxRecord = 64 << 20
+
+	// walFlushBytes caps the user-space pending buffer of a buffered
+	// WAL; appends past it flush inline so memory stays bounded even
+	// if the sync timer stalls.
+	walFlushBytes = 256 << 10
+)
+
+// wal is an open write-ahead log file.
+type wal struct {
+	f    File
+	name string
+	buf  []byte
+	// buffered group-commits records in pending instead of issuing one
+	// Write syscall per record. Only legal under FsyncInterval/FsyncOff:
+	// those policies already tolerate losing the un-synced tail, and
+	// the sync timer (or an explicit sync/close) flushes the buffer, so
+	// the loss window is unchanged — at most the last interval. A
+	// FsyncAlways WAL writes through: its records must be on disk
+	// before the sync that follows each mutation.
+	buffered bool
+	pending  []byte
+	// size tracks bytes logged (including pending), so the DB can
+	// expose WAL growth.
+	size int64
+}
+
+// createWAL creates (truncates) a WAL file and writes its magic.
+func createWAL(fs FS, name string) (*wal, error) {
+	f, err := fs.Create(name)
+	if err != nil {
+		return nil, fmt.Errorf("persist: creating WAL %s: %w", name, err)
+	}
+	w := &wal{f: f, name: name}
+	if _, err := f.Write([]byte(walMagic)); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("persist: writing WAL magic: %w", err)
+	}
+	w.size = int64(len(walMagic))
+	return w, nil
+}
+
+// openWALAppend opens an existing WAL (already truncated to its last
+// intact record) for appending.
+func openWALAppend(fs FS, name string, size int64) (*wal, error) {
+	f, err := fs.Append(name)
+	if err != nil {
+		return nil, fmt.Errorf("persist: opening WAL %s: %w", name, err)
+	}
+	return &wal{f: f, name: name, size: size}, nil
+}
+
+// appendRecord frames and writes one payload in a single Write call, so
+// a torn write maps to exactly one incomplete record. A buffered WAL
+// stages the frame in pending instead; a torn flush then spans several
+// records, which replay handles the same way — truncate at the first
+// bad frame.
+func (w *wal) appendRecord(payload []byte) error {
+	w.buf = w.buf[:0]
+	w.buf = binary.LittleEndian.AppendUint32(w.buf, uint32(len(payload)))
+	w.buf = binary.LittleEndian.AppendUint32(w.buf, crc32.Checksum(payload, castagnoli))
+	w.buf = append(w.buf, payload...)
+	if w.buffered {
+		w.pending = append(w.pending, w.buf...)
+		w.size += int64(len(w.buf))
+		if len(w.pending) >= walFlushBytes {
+			return w.flush()
+		}
+		return nil
+	}
+	n, err := w.f.Write(w.buf)
+	w.size += int64(n)
+	if err != nil {
+		return fmt.Errorf("persist: appending WAL record: %w", err)
+	}
+	return nil
+}
+
+// flush hands the pending buffer to the OS. On a write error the buffer
+// is dropped, not retried: a partial write already put unknown bytes in
+// the file, and re-writing the whole buffer would corrupt the record
+// stream where replay's truncate-at-first-bad-frame recovery handles a
+// lost tail cleanly.
+func (w *wal) flush() error {
+	if len(w.pending) == 0 {
+		return nil
+	}
+	_, err := w.f.Write(w.pending)
+	w.pending = w.pending[:0]
+	if err != nil {
+		return fmt.Errorf("persist: flushing WAL buffer: %w", err)
+	}
+	return nil
+}
+
+func (w *wal) appendAdd(tr rdf.Triple) error {
+	p := make([]byte, 0, 128)
+	p = append(p, opAdd)
+	p = rdf.AppendTriple(p, tr)
+	return w.appendRecord(p)
+}
+
+// appendBatch logs triples as chunked opBatch records followed by one
+// opCommit marker.
+func (w *wal) appendBatch(triples []rdf.Triple) error {
+	for len(triples) > 0 {
+		n := len(triples)
+		if n > walBatchChunk {
+			n = walBatchChunk
+		}
+		p := make([]byte, 0, n*64)
+		p = append(p, opBatch)
+		p = binary.LittleEndian.AppendUint32(p, uint32(n))
+		for _, tr := range triples[:n] {
+			p = rdf.AppendTriple(p, tr)
+		}
+		if err := w.appendRecord(p); err != nil {
+			return err
+		}
+		triples = triples[n:]
+	}
+	return w.appendRecord([]byte{opCommit})
+}
+
+func (w *wal) sync() error {
+	if err := w.flush(); err != nil {
+		return err
+	}
+	return w.f.Sync()
+}
+
+func (w *wal) close() error {
+	ferr := w.flush()
+	if cerr := w.f.Close(); ferr == nil {
+		ferr = cerr
+	}
+	return ferr
+}
+
+// walReplay reports what replayWAL recovered.
+type walReplay struct {
+	// records is the number of applied records.
+	records int
+	// triples is the number of triples offered to the store (including
+	// duplicates the store deduplicated).
+	triples int
+	// goodBytes is the file offset after the last applied record; the
+	// caller truncates the file here.
+	goodBytes int64
+	// truncated reports whether a torn or corrupt tail was dropped.
+	truncated bool
+}
+
+// replayWAL reads a WAL file and applies its committed prefix to s.
+// It stops at the first torn or corrupt record. A missing or
+// magic-corrupt file replays as empty (goodBytes 0 tells the caller to
+// recreate it). Decoding never panics regardless of file contents.
+func replayWAL(fs FS, name string, s *store.Store) (walReplay, error) {
+	var rep walReplay
+	rc, err := fs.Open(name)
+	if err != nil {
+		return rep, err
+	}
+	data, err := io.ReadAll(rc)
+	rc.Close()
+	if err != nil {
+		return rep, fmt.Errorf("persist: reading WAL %s: %w", name, err)
+	}
+	if len(data) < len(walMagic) || string(data[:len(walMagic)]) != walMagic {
+		rep.truncated = len(data) > 0
+		return rep, nil
+	}
+	off := int64(len(walMagic))
+	rep.goodBytes = off
+
+	// Batches buffer through a dedicated loader and only reach the
+	// store when their commit marker proves they were fully logged.
+	bl := store.NewBulkLoader(s)
+	bl.SetAutoCommitThreshold(0)
+	pendingBytes := off // start of the oldest unapplied batch record
+
+	for int64(len(data))-off >= 8 {
+		plen := int64(binary.LittleEndian.Uint32(data[off:]))
+		wantCRC := binary.LittleEndian.Uint32(data[off+4:])
+		if plen == 0 || plen > walMaxRecord || plen > int64(len(data))-off-8 {
+			break
+		}
+		payload := data[off+8 : off+8+plen]
+		if crc32.Checksum(payload, castagnoli) != wantCRC {
+			break
+		}
+		ok := true
+		switch payload[0] {
+		case opAdd:
+			tr, n, err := rdf.DecodeTriple(payload[1:])
+			if err != nil || int64(n) != plen-1 {
+				ok = false
+				break
+			}
+			if _, err := s.Add(tr); err != nil {
+				ok = false
+				break
+			}
+			rep.triples++
+		case opBatch:
+			if plen < 5 {
+				ok = false
+				break
+			}
+			count := int(binary.LittleEndian.Uint32(payload[1:]))
+			body := payload[5:]
+			if count > walBatchChunk {
+				ok = false
+				break
+			}
+			for i := 0; i < count && ok; i++ {
+				tr, n, err := rdf.DecodeTriple(body)
+				if err != nil || bl.Add(tr) != nil {
+					ok = false
+					break
+				}
+				body = body[n:]
+			}
+			if len(body) != 0 {
+				ok = false
+			}
+		case opCommit:
+			if plen != 1 {
+				ok = false
+				break
+			}
+			rep.triples += bl.Commit()
+			pendingBytes = off + 8 + plen
+		default:
+			ok = false
+		}
+		if !ok {
+			break
+		}
+		rep.records++
+		off += 8 + plen
+		if payload[0] != opBatch {
+			pendingBytes = off
+		}
+	}
+
+	// goodBytes excludes both the corrupt tail and any batch records
+	// whose commit marker never made it to disk.
+	rep.goodBytes = pendingBytes
+	rep.truncated = rep.goodBytes != int64(len(data))
+	return rep, nil
+}
