@@ -33,8 +33,12 @@ BENCH_ENDPOINT_OUT := BENCH_ENDPOINT_$(shell date +%Y-%m-%d).txt
 # regression surface); BenchmarkDictInternParallel expands to its
 # dict1/dict2/dict8 shard counts. The persist rows gate the durability
 # path: snapshot encode, WAL append under each fsync policy, and the
-# snapshot-vs-reingest recovery ratio (BenchmarkRecovery1M).
-BENCH_CI_PATTERN := ^(BenchmarkMatchByPredicate|BenchmarkMatchSubjectsMerge|BenchmarkDictInternParallel|BenchmarkEvalTwoHopJoin|BenchmarkCachedQuery|BenchmarkBulkLoad|BenchmarkSnapshotSave|BenchmarkWALAppend|BenchmarkRecovery1M|BenchmarkDurableAdd)$$
+# snapshot-vs-reingest recovery ratio (BenchmarkRecovery1M). The
+# streaming-evaluator rows gate the rank-label top-k ORDER BY
+# (EvalOrderByLimit), in-pipeline FILTER early exit
+# (EvalFilterPushdown), and greedy join ordering (EvalJoinOrder) against
+# their materializing/naive counterpart sub-benchmarks.
+BENCH_CI_PATTERN := ^(BenchmarkMatchByPredicate|BenchmarkMatchSubjectsMerge|BenchmarkDictInternParallel|BenchmarkEvalTwoHopJoin|BenchmarkEvalOrderByLimit|BenchmarkEvalFilterPushdown|BenchmarkEvalJoinOrder|BenchmarkCachedQuery|BenchmarkBulkLoad|BenchmarkSnapshotSave|BenchmarkWALAppend|BenchmarkRecovery1M|BenchmarkDurableAdd)$$
 BENCH_CI_PKGS := ./internal/store/ ./internal/sparql/ ./internal/endpoint/ ./internal/store/persist/
 BENCH_CI_FLAGS := -run '^$$' -bench '$(BENCH_CI_PATTERN)' -benchtime=200ms -count=4 -cpu=1 -timeout=20m
 

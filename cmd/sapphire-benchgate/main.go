@@ -51,13 +51,17 @@ type File struct {
 // wildcard-merge shapes (MatchByPredicate/sharded8's (?s P ?o) sweep
 // and MatchSubjectsMerge/sharded8's (?s P O) subject runs), dictionary
 // interning (DictInternParallel), the evaluator join (EvalTwoHopJoin),
+// the streaming evaluator's headline paths — rank-label top-k ORDER BY
+// (EvalOrderByLimit), FILTER early exit (EvalFilterPushdown), greedy
+// join ordering (EvalJoinOrder), each gated against its materializing
+// or naive counterpart sub-benchmark —
 // the endpoint cache hit path (CachedQuery), bulk ingestion (BulkLoad),
 // and the durability path: snapshot encode (SnapshotSave), WAL append
 // under each fsync policy (WALAppend), durable online adds vs the
 // in-memory floor (DurableAdd), and snapshot-restore vs N-Triples
 // re-ingest at 1M triples (Recovery1M — the ratio between its two
 // sub-benchmarks is the restart-speedup claim, so both rows are gated).
-const defaultRequired = "BenchmarkMatchByPredicate,BenchmarkMatchSubjectsMerge,BenchmarkDictInternParallel,BenchmarkEvalTwoHopJoin,BenchmarkCachedQuery,BenchmarkBulkLoad,BenchmarkSnapshotSave,BenchmarkWALAppend,BenchmarkDurableAdd,BenchmarkRecovery1M"
+const defaultRequired = "BenchmarkMatchByPredicate,BenchmarkMatchSubjectsMerge,BenchmarkDictInternParallel,BenchmarkEvalTwoHopJoin,BenchmarkEvalOrderByLimit,BenchmarkEvalFilterPushdown,BenchmarkEvalJoinOrder,BenchmarkCachedQuery,BenchmarkBulkLoad,BenchmarkSnapshotSave,BenchmarkWALAppend,BenchmarkDurableAdd,BenchmarkRecovery1M"
 
 // benchLine matches one `go test -bench` result line, e.g.
 //

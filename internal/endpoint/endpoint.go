@@ -332,31 +332,15 @@ func (l *Local) eval(ctx context.Context, q *sparql.Query) (*sparql.Results, err
 	return res, nil
 }
 
-// estimate approximates query cost as the sum of per-pattern cardinality
-// estimates, an intentionally crude model of the admission controllers
-// public endpoints run. It stays in the store's ID space: each constant
-// is looked up in the term dictionary once, and a constant the store has
-// never seen makes its pattern free (it can match nothing).
+// estimate is the admission cost of a query: the planner's post-reorder
+// first-pattern cardinality per pattern group (sparql.AdmissionEstimate).
+// Estimating the driving scan the planner actually runs — instead of
+// summing every textual pattern — admits cheap-but-badly-written queries
+// whose first written pattern is a huge sweep the greedy plan never
+// executes first, while still rejecting queries whose cheapest driving
+// scan really does touch too many rows. The store's estimates are exact
+// (per-entry totals maintained on insert), so the threshold is a real
+// row bound on the driving scans, not a fudge factor.
 func (l *Local) estimate(q *sparql.Query) int {
-	total := 0
-	for _, pat := range q.Where {
-		s, sOK := nodeID(l.store, pat.S)
-		p, pOK := nodeID(l.store, pat.P)
-		o, oOK := nodeID(l.store, pat.O)
-		if !sOK || !pOK || !oOK {
-			continue
-		}
-		total += l.store.CardinalityEstimateIDs(s, p, o)
-	}
-	return total
-}
-
-// nodeID maps a pattern node to the wildcard-or-constant convention of
-// store.MatchIDs: variables become the Wildcard ID. ok is false when a
-// constant term is absent from the store's dictionary.
-func nodeID(st *store.Store, n sparql.Node) (store.ID, bool) {
-	if n.IsVar() {
-		return store.Wildcard, true
-	}
-	return st.Lookup(n.Term)
+	return sparql.AdmissionEstimate(l.store, q)
 }

@@ -281,11 +281,12 @@ func TestHTTPEpochUnknown(t *testing.T) {
 	}
 }
 
-// TestExactEstimateAdmission pins the admission boundary now that
-// cardinality estimates are exact: a query whose patterns touch exactly
-// the threshold is admitted, one row more is rejected. The estimate for
-// `?s a Person` is precisely the number of Person instances, so the
-// boundary is sharp — no inflation margin on either side.
+// TestExactEstimateAdmission pins the admission boundary now that the
+// estimate is the planner's driving-scan cost: a query whose cheapest
+// first scan touches exactly the threshold is admitted, one row more is
+// rejected. The estimate for `?s a Person` is precisely the number of
+// Person instances, so the boundary is sharp — no inflation margin on
+// either side.
 func TestExactEstimateAdmission(t *testing.T) {
 	const n = 40
 	ep := NewLocal("edge", testStore(t, n), Limits{RejectEstimateAbove: n})
@@ -293,14 +294,44 @@ func TestExactEstimateAdmission(t *testing.T) {
 	if _, err := ep.Query(context.Background(), q); err != nil {
 		t.Fatalf("estimate == threshold must be admitted: %v", err)
 	}
-	// Two patterns: n type rows + n name rows = 2n > n, rejected.
+	// Two patterns of n rows each: only the first drives a scan (the
+	// second becomes a per-row probe), so the cost is n, not 2n.
 	q2 := `SELECT ?s WHERE { ?s a <http://x/Person> . ?s <http://x/name> ?o . }`
-	if _, err := ep.Query(context.Background(), q2); !errors.Is(err, ErrRejected) {
-		t.Fatalf("estimate above threshold must be rejected, got %v", err)
+	if _, err := ep.Query(context.Background(), q2); err != nil {
+		t.Fatalf("join driven by an at-threshold scan must be admitted: %v", err)
 	}
 	tight := NewLocal("tight", testStore(t, n), Limits{RejectEstimateAbove: n - 1})
 	if _, err := tight.Query(context.Background(), q); !errors.Is(err, ErrRejected) {
 		t.Fatalf("estimate one above threshold must be rejected, got %v", err)
+	}
+	if _, err := tight.Query(context.Background(), q2); !errors.Is(err, ErrRejected) {
+		t.Fatalf("join whose cheapest driving scan exceeds the threshold must be rejected, got %v", err)
+	}
+}
+
+// TestAdmissionUsesPlannedOrder pins that admission control costs the
+// planner's post-reorder driving scan, not the query as written: a cheap
+// query whose textual first pattern is a full sweep is admitted, because
+// the planner runs the selective pattern first and the sweep becomes a
+// per-row probe. The old textual-sum estimate rejected exactly this
+// query shape.
+func TestAdmissionUsesPlannedOrder(t *testing.T) {
+	const n = 40
+	// Threshold 5: far below the 2n-triple sweep and the n name rows,
+	// but above the single row matched by the constant-object pattern.
+	ep := NewLocal("planned", testStore(t, n), Limits{RejectEstimateAbove: 5})
+	q := `SELECT ?p WHERE { ?s ?p ?o . ?s <http://x/name> "Person 5"@en . }`
+	res, err := ep.Query(context.Background(), q)
+	if err != nil {
+		t.Fatalf("cheap query written sweep-first must be admitted: %v", err)
+	}
+	if len(res.Rows) != 2 { // p5 has a type triple and a name triple
+		t.Fatalf("rows = %d, want 2", len(res.Rows))
+	}
+	// The same sweep without the selective companion is still rejected:
+	// there is no cheaper scan for the planner to drive with.
+	if _, err := ep.Query(context.Background(), `SELECT ?s WHERE { ?s ?p ?o . }`); !errors.Is(err, ErrRejected) {
+		t.Fatalf("bare sweep must still be rejected, got %v", err)
 	}
 }
 

@@ -46,14 +46,24 @@ func (p Pattern) String() string {
 // Vars returns the distinct variable names used in the pattern.
 func (p Pattern) Vars() []string {
 	var out []string
-	seen := make(map[string]bool)
-	for _, n := range []Node{p.S, p.P, p.O} {
-		if n.IsVar() && !seen[n.Var] {
-			seen[n.Var] = true
-			out = append(out, n.Var)
-		}
-	}
+	p.eachVar(func(v string) { out = append(out, v) })
 	return out
+}
+
+// eachVar calls fn once per distinct variable of the pattern, in
+// position order, without allocating — the planner costs patterns in a
+// tight loop, so this is the hot form of Vars.
+func (p Pattern) eachVar(fn func(string)) {
+	s, pv := p.S.IsVar(), p.P.IsVar()
+	if s {
+		fn(p.S.Var)
+	}
+	if pv && !(s && p.P.Var == p.S.Var) {
+		fn(p.P.Var)
+	}
+	if p.O.IsVar() && !(s && p.O.Var == p.S.Var) && !(pv && p.O.Var == p.P.Var) {
+		fn(p.O.Var)
+	}
 }
 
 // AggregateKind enumerates the supported aggregate functions.

@@ -5,29 +5,45 @@
 // example in Section 1, the initialization queries Q1–Q10 in Appendix A,
 // and the user-study queries in Appendix B.
 //
-// The pipeline is lexer → parser → AST → evaluator. The evaluator runs
-// against any Graph (the in-memory store, or a federation of endpoints)
-// and supports a per-row budget hook so simulated endpoints can enforce
-// timeouts the way real SPARQL endpoints do.
+// The pipeline is lexer → parser → AST → planner → streaming operator
+// pipeline. The evaluator runs against any Graph (the in-memory store,
+// or a federation of endpoints) and supports a per-row budget hook so
+// simulated endpoints can enforce timeouts the way real SPARQL
+// endpoints do.
 //
-// # The ID-level fast path
+// # The streaming pipeline
 //
-// When the Graph also implements IDGraph (the in-memory store does),
-// the evaluator joins basic graph patterns over dense uint32 term IDs
-// instead of rdf.Term structs and resolves IDs back to terms only when
-// the pattern group is fully joined. Implementations and callers of
-// IDGraph must follow the store's ID contract:
+// Eval compiles a query into a plan (plan.go): a slot layout mapping
+// every pattern variable to a column of a uint32 solution row, each
+// pattern group greedily reordered most-selective-first by the graph's
+// exact cardinalities, and every FILTER assigned to the earliest
+// pipeline stage at which its variables can no longer change. The plan
+// executes as a chain of push-based operators (iter.go) — depth-first
+// index-nested-loop join with inline level filters, left joins for
+// OPTIONAL, ORDER BY as a bounded top-k heap or a full stable sort,
+// projection, ID-keyed DISTINCT, and an OFFSET/LIMIT slice whose
+// early-exit propagates back up the whole chain, for every query class.
+// Rows stay dictionary IDs end to end; terms materialize only when rows
+// leave the pipeline (or inside filter and order-key evaluation).
+//
+// All graphs run the same pipeline. An IDGraph (the in-memory store)
+// scans in ID space directly; a plain Graph's term-level matches are
+// interned into a query-local dictionary, so joins and DISTINCT still
+// compare integers. Implementations of IDGraph must follow the store's
+// ID contract:
 //
 //   - The zero ID is the wildcard, mirroring the zero-Term convention
 //     of Match; no term ever has ID 0.
 //   - IDs are dense and append-only for the life of the graph, so
-//     bindings can carry raw IDs between join steps.
-//   - MatchIDs callbacks run under the graph's read lock: they must not
-//     issue locking calls back into the graph (Lookup, CountIDs, a
-//     nested MatchIDs) — once a writer queues, a nested read-lock
-//     acquisition deadlocks. ResolveID is documented lock-free exactly
-//     so join loops can materialize terms from inside a callback.
+//     solution rows can carry raw IDs between operators.
+//   - The depth-first join issues the next level's scan from inside the
+//     current level's MatchIDs callback. A ReentrantGraph (the store)
+//     declares this safe by exposing PinRead/MatchIDsPinned: the
+//     pipeline pins the read locks once per evaluation and scans
+//     lock-free. A plain IDGraph must tolerate nested MatchIDs calls
+//     outright. ResolveID is documented lock-free either way, so terms
+//     can materialize mid-iteration.
 //
-// Remote and federated graphs implement only Graph and take the
-// Term-level path; the evaluator falls back transparently.
+// Remote endpoints and federations implement only Graph and take the
+// localDict path transparently.
 package sparql

@@ -23,10 +23,10 @@ type Graph interface {
 // IDGraph is an optional Graph extension for dictionary-encoded stores.
 // When the graph implements it, the evaluator joins over dense uint32
 // term IDs — integer map probes instead of 4-field struct hashing — and
-// resolves IDs back to terms only once the basic graph pattern is fully
-// joined. The zero ID is the wildcard, mirroring the zero-Term convention
-// of Match. The in-memory store implements this; remote and federated
-// graphs fall back to the Term-level path.
+// resolves IDs back to terms only when rows leave the pipeline. The zero
+// ID is the wildcard, mirroring the zero-Term convention of Match. The
+// in-memory store implements this; remote and federated graphs take the
+// Term-level path through a query-local dictionary instead.
 type IDGraph interface {
 	Graph
 	// Lookup returns the dictionary ID of a term, or false if the term
@@ -41,15 +41,6 @@ type IDGraph interface {
 
 // Binding maps variable names to terms for one solution row.
 type Binding map[string]rdf.Term
-
-// clone copies a binding.
-func (b Binding) clone() Binding {
-	c := make(Binding, len(b)+1)
-	for k, v := range b {
-		c[k] = v
-	}
-	return c
-}
 
 // Results is the outcome of query evaluation.
 type Results struct {
@@ -83,604 +74,23 @@ type Budget func() error
 type Options struct {
 	// Budget, if non-nil, is called once per intermediate row.
 	Budget Budget
+
+	// noReorder keeps the textual pattern order instead of the greedy
+	// plan — only reachable in-package, to measure what greedy join
+	// ordering buys (BenchmarkEvalJoinOrder).
+	noReorder bool
 }
 
-// Eval evaluates a query against a graph.
+// Eval evaluates a query against a graph: it compiles a plan (slot
+// layout, greedy join order, filter placement — see plan.go) and streams
+// it through the operator pipeline (see iter.go). Rows arrive in plan
+// emission order; ORDER BY is the only modifier that reorders them.
 func Eval(g Graph, q *Query, opts Options) (*Results, error) {
-	e := &evaluator{g: g, q: q, budget: opts.Budget}
-	return e.run()
-}
-
-type evaluator struct {
-	g      Graph
-	q      *Query
-	budget Budget
-
-	// maxRows caps how many final join rows the BGP executors produce
-	// when LIMIT/OFFSET can be pushed into the join (see pushdownCap);
-	// -1 means no cap. emitted counts final rows produced so far across
-	// all union branches.
-	maxRows int
-	emitted int
-}
-
-// joinOrderPreserved reports whether the query's result rows are
-// exactly the join's output rows, in join emission order: no modifier
-// between the join and page() reorders, drops, multiplies, or merges
-// rows (ORDER BY reorders, aggregates and DISTINCT collapse, FILTER
-// drops, OPTIONAL multiplies). For this class the evaluator serves join
-// order directly — it is fully deterministic (the store's iteration
-// order is pinned by TestShardEquivalence and the greedy plan is a pure
-// function of the store state) — instead of the defensive row-key sort
-// the modifier paths use, and that is what makes the LIMIT/OFFSET
-// pushdown an exact row-for-row match of the materialize-then-page slow
-// path.
-func (e *evaluator) joinOrderPreserved() bool {
-	q := e.q
-	return !q.HasAggregates() && !q.Distinct &&
-		len(q.OrderBy) == 0 && len(q.Filters) == 0 && len(q.Optionals) == 0
-}
-
-// pushdownCap returns Offset+Limit when paging can be pushed into the
-// join's early-stop path, or -1 when the full solution set is needed
-// first: with join order preserved, result rows correspond 1:1 (in
-// order) to join rows, so the join can stop after producing the first
-// Offset+Limit of them — LIMIT k over a huge pattern does work
-// proportional to k, not to the match count.
-func (e *evaluator) pushdownCap() int {
-	if e.q.Limit < 0 || !e.joinOrderPreserved() {
-		return -1
-	}
-	return e.q.Offset + e.q.Limit
-}
-
-func (e *evaluator) tick() error {
-	if e.budget == nil {
-		return nil
-	}
-	return e.budget()
-}
-
-func (e *evaluator) run() (*Results, error) {
-	if len(e.q.Where) == 0 && len(e.q.UnionGroups) == 0 {
-		return nil, fmt.Errorf("sparql: empty WHERE clause")
-	}
-	e.maxRows = e.pushdownCap()
-	var rows []Binding
-	var err error
-	if len(e.q.UnionGroups) > 0 {
-		// Union: each branch evaluates independently; solutions concat.
-		// With a pushdown cap the shared emitted counter stops later
-		// branches once earlier ones have produced enough rows.
-		for _, g := range e.q.UnionGroups {
-			if e.maxRows >= 0 && e.emitted >= e.maxRows {
-				break
-			}
-			branch, berr := e.joinGroup(g)
-			if berr != nil {
-				return nil, berr
-			}
-			rows = append(rows, branch...)
-		}
-		// Any trailing plain patterns join against the union result.
-		if len(e.q.Where) > 0 {
-			return nil, fmt.Errorf("sparql: mixing UNION with top-level patterns is not supported")
-		}
-	} else {
-		rows, err = e.joinGroup(e.q.Where)
-		if err != nil {
-			return nil, err
-		}
-	}
-	// OPTIONAL blocks left-join against the solutions so far.
-	for _, opt := range e.q.Optionals {
-		rows, err = e.leftJoin(rows, opt)
-		if err != nil {
-			return nil, err
-		}
-	}
-	rows, err = e.applyFilters(rows)
+	pl, err := newPlan(g, q, !opts.noReorder)
 	if err != nil {
 		return nil, err
 	}
-	// SPARQL orders the solution sequence before projection, so ORDER BY
-	// may reference variables that are not projected. Aggregate queries
-	// order after grouping instead, since their keys name output columns.
-	if !e.q.HasAggregates() {
-		e.orderRows(rows)
-	}
-	res, err := e.project(rows)
-	if err != nil {
-		return nil, err
-	}
-	// Queries whose rows are the join's rows keep join order (see
-	// joinOrderPreserved); the modifier paths fall back to the
-	// deterministic row-key sort when no explicit order was given.
-	if (e.q.HasAggregates() || len(e.q.OrderBy) == 0) && !e.joinOrderPreserved() {
-		e.order(res)
-	}
-	e.page(res)
-	return res, nil
-}
-
-// orderRows sorts full solution rows by the ORDER BY keys before
-// projection.
-func (e *evaluator) orderRows(rows []Binding) {
-	if len(e.q.OrderBy) == 0 {
-		return
-	}
-	keys := e.q.OrderBy
-	sort.SliceStable(rows, func(i, j int) bool {
-		for _, k := range keys {
-			c := compareTermsForOrder(rows[i][k.Var], rows[j][k.Var])
-			if c != 0 {
-				if k.Desc {
-					return c > 0
-				}
-				return c < 0
-			}
-		}
-		return false
-	})
-}
-
-// joinGroup executes one basic graph pattern with a greedy left-deep
-// join: at each step pick the unexecuted pattern with the lowest
-// cardinality estimate given already-bound variables.
-func (e *evaluator) joinGroup(group []Pattern) ([]Binding, error) {
-	return e.joinFrom([]Binding{{}}, group)
-}
-
-// leftJoin extends each row with the optional block's solutions, keeping
-// the row unextended when the block has no match (SPARQL OPTIONAL).
-func (e *evaluator) leftJoin(rows []Binding, block []Pattern) ([]Binding, error) {
-	var out []Binding
-	for _, row := range rows {
-		matches, err := e.joinFrom([]Binding{row}, block)
-		if err != nil {
-			return nil, err
-		}
-		if len(matches) == 0 {
-			out = append(out, row)
-		} else {
-			out = append(out, matches...)
-		}
-	}
-	return out, nil
-}
-
-// joinFrom joins the patterns starting from the given seed rows. Graphs
-// exposing the ID-level API get the dictionary-encoded join; others the
-// Term-level one.
-func (e *evaluator) joinFrom(seed []Binding, group []Pattern) ([]Binding, error) {
-	if len(group) == 0 {
-		return seed, nil
-	}
-	// The ID join pays one extra map per emitted row (the ID row plus the
-	// resolved Term row), which a multi-pattern join amortizes across its
-	// intermediate results. A single pattern has no join to speed up, so
-	// the Term path is both simpler and cheaper there. (The ID join
-	// tracks executed patterns in a uint64 mask, hence the size cap; BGPs
-	// beyond it are unheard of.)
-	if ig, ok := e.g.(IDGraph); ok && len(group) > 1 && len(group) <= 64 {
-		return e.joinFromIDs(ig, seed, group)
-	}
-	return e.joinFromTerms(seed, group)
-}
-
-// joinFromTerms is the Term-level join used for graphs without an ID API
-// (remote endpoints, federations).
-func (e *evaluator) joinFromTerms(seed []Binding, group []Pattern) ([]Binding, error) {
-	remaining := append([]Pattern(nil), group...)
-	rows := seed
-	bound := make(map[string]bool)
-	if len(seed) > 0 {
-		for v := range seed[0] {
-			bound[v] = true
-		}
-	}
-	for len(remaining) > 0 {
-		idx := e.pickNext(remaining, bound)
-		pat := remaining[idx]
-		remaining = append(remaining[:idx], remaining[idx+1:]...)
-		// Rows produced by the last pattern are final solutions: when a
-		// LIMIT pushdown cap is active they count against it, and the
-		// join stops the moment it is reached.
-		final := len(remaining) == 0
-		stop := false
-		var next []Binding
-		for _, row := range rows {
-			s, sv := resolve(pat.S, row)
-			p, pv := resolve(pat.P, row)
-			o, ov := resolve(pat.O, row)
-			var innerErr error
-			e.g.Match(s, p, o, func(tr rdf.Triple) bool {
-				if innerErr = e.tick(); innerErr != nil {
-					return false
-				}
-				nb := row
-				cloned := false
-				bind := func(v string, t rdf.Term) bool {
-					if v == "" {
-						return true
-					}
-					if cur, ok := nb[v]; ok {
-						return cur == t
-					}
-					if !cloned {
-						nb = nb.clone()
-						cloned = true
-					}
-					nb[v] = t
-					return true
-				}
-				if !bind(sv, tr.S) || !bind(pv, tr.P) || !bind(ov, tr.O) {
-					return true
-				}
-				// A fully bound pattern binds nothing new; the row passes
-				// through unchanged and uncloned. Sharing is safe: every
-				// mutation above is preceded by a clone.
-				next = append(next, nb)
-				if final && e.maxRows >= 0 {
-					e.emitted++
-					if e.emitted >= e.maxRows {
-						stop = true
-						return false
-					}
-				}
-				return true
-			})
-			if innerErr != nil {
-				return nil, innerErr
-			}
-			if stop {
-				break
-			}
-		}
-		rows = next
-		for _, v := range pat.Vars() {
-			bound[v] = true
-		}
-		if len(rows) == 0 || stop {
-			return rows, nil
-		}
-	}
-	return rows, nil
-}
-
-// idBinding is a solution row over dictionary IDs.
-type idBinding map[string]uint32
-
-// emptyIDRow is the shared zero-variable seed row. It is never mutated:
-// the ID join clones a row before binding into it.
-var emptyIDRow = idBinding{}
-
-func (b idBinding) clone() idBinding {
-	c := make(idBinding, len(b)+1)
-	for k, v := range b {
-		c[k] = v
-	}
-	return c
-}
-
-// idNode is a pattern position prepared for ID-level matching: either a
-// constant already looked up in the dictionary, or a variable name.
-type idNode struct {
-	id uint32 // constant ID; 0 for variables
-	v  string // variable name; "" for constants
-}
-
-// joinFromIDs joins over dictionary IDs: per-pattern constants are looked
-// up once, rows hold uint32 IDs, and terms materialize only after the
-// whole group is joined.
-func (e *evaluator) joinFromIDs(ig IDGraph, seed []Binding, group []Pattern) ([]Binding, error) {
-	rows := make([]idBinding, 0, len(seed))
-	for _, b := range seed {
-		if len(b) == 0 {
-			// The canonical empty seed: share one immutable row — the
-			// join always clones before binding into a row.
-			rows = append(rows, emptyIDRow)
-			continue
-		}
-		ib := make(idBinding, len(b))
-		for v, t := range b {
-			id, ok := ig.Lookup(t)
-			if !ok {
-				// A seed term unknown to this graph (possible when a seed
-				// row came from elsewhere) has no ID; the Term-level join
-				// handles that case correctly.
-				return e.joinFromTerms(seed, group)
-			}
-			ib[v] = id
-		}
-		rows = append(rows, ib)
-	}
-	bound := make(map[string]bool)
-	if len(seed) > 0 {
-		for v := range seed[0] {
-			bound[v] = true
-		}
-	}
-	var used uint64 // bit i set once group[i] has executed
-	var out []Binding
-	for done := 0; done < len(group); done++ {
-		idx := e.pickNextMask(group, used, bound)
-		pat := group[idx]
-		used |= 1 << idx
-		final := done == len(group)-1
-		sN, sOK := idNodeOf(ig, pat.S)
-		pN, pOK := idNodeOf(ig, pat.P)
-		oN, oOK := idNodeOf(ig, pat.O)
-		if !sOK || !pOK || !oOK {
-			// A constant term absent from the dictionary matches nothing.
-			return nil, nil
-		}
-		stop := false
-		var next []idBinding
-		for _, row := range rows {
-			s, sv := resolveID(sN, row)
-			p, pv := resolveID(pN, row)
-			o, ov := resolveID(oN, row)
-			var innerErr error
-			ig.MatchIDs(s, p, o, func(ms, mp, mo uint32) bool {
-				if innerErr = e.tick(); innerErr != nil {
-					return false
-				}
-				// Repeated unbound variables must match the same term.
-				if sv != "" && ((sv == pv && ms != mp) || (sv == ov && ms != mo)) {
-					return true
-				}
-				if pv != "" && pv == ov && mp != mo {
-					return true
-				}
-				if final {
-					// Last pattern: materialize the Term row directly,
-					// skipping the intermediate ID row and the separate
-					// resolve pass.
-					nb := make(Binding, len(row)+3)
-					for v, id := range row {
-						nb[v] = ig.ResolveID(id)
-					}
-					if sv != "" {
-						nb[sv] = ig.ResolveID(ms)
-					}
-					if pv != "" {
-						nb[pv] = ig.ResolveID(mp)
-					}
-					if ov != "" {
-						nb[ov] = ig.ResolveID(mo)
-					}
-					out = append(out, nb)
-					if e.maxRows >= 0 {
-						e.emitted++
-						if e.emitted >= e.maxRows {
-							stop = true
-							return false
-						}
-					}
-					return true
-				}
-				nb := row
-				if sv != "" || pv != "" || ov != "" {
-					nb = nb.clone()
-					if sv != "" {
-						nb[sv] = ms
-					}
-					if pv != "" {
-						nb[pv] = mp
-					}
-					if ov != "" {
-						nb[ov] = mo
-					}
-				}
-				next = append(next, nb)
-				return true
-			})
-			if innerErr != nil {
-				return nil, innerErr
-			}
-			if stop {
-				break
-			}
-		}
-		if final {
-			return out, nil
-		}
-		rows = next
-		for _, v := range pat.Vars() {
-			bound[v] = true
-		}
-		if len(rows) == 0 {
-			return nil, nil
-		}
-	}
-	return out, nil
-}
-
-// idNodeOf prepares one pattern position. ok is false when the position
-// is a constant that does not occur in the graph's dictionary.
-func idNodeOf(ig IDGraph, n Node) (idNode, bool) {
-	if n.IsVar() {
-		return idNode{v: n.Var}, true
-	}
-	id, ok := ig.Lookup(n.Term)
-	return idNode{id: id}, ok
-}
-
-// resolveID turns a prepared position into a concrete ID (constant or
-// bound) plus the variable name still to bind.
-func resolveID(n idNode, row idBinding) (uint32, string) {
-	if n.v == "" {
-		return n.id, ""
-	}
-	if id, ok := row[n.v]; ok {
-		return id, ""
-	}
-	return 0, n.v
-}
-
-// resolve turns a pattern node into a concrete term (when constant or
-// already bound) plus the variable name still to bind.
-func resolve(n Node, row Binding) (rdf.Term, string) {
-	if !n.IsVar() {
-		return n.Term, ""
-	}
-	if t, ok := row[n.Var]; ok {
-		return t, ""
-	}
-	return rdf.Term{}, n.Var
-}
-
-// pickNext chooses the most selective remaining pattern. Patterns sharing
-// a bound variable are preferred over cartesian products.
-func (e *evaluator) pickNext(remaining []Pattern, bound map[string]bool) int {
-	return e.pickNextMask(remaining, 0, bound)
-}
-
-// pickNextMask is pickNext over a group with a bitmask of already
-// executed patterns, letting the ID join avoid the remaining-slice copy.
-func (e *evaluator) pickNextMask(group []Pattern, used uint64, bound map[string]bool) int {
-	best, bestCost := -1, 0
-	for i, pat := range group {
-		if used&(1<<i) != 0 {
-			continue
-		}
-		cost := e.patternCost(pat, bound)
-		// Penalize patterns with no join variable: cartesian product.
-		if len(bound) > 0 && !sharesVar(pat, bound) {
-			cost = cost*16 + 1<<20
-		}
-		if best < 0 || cost < bestCost {
-			best, bestCost = i, cost
-		}
-	}
-	return best
-}
-
-func sharesVar(pat Pattern, bound map[string]bool) bool {
-	for _, v := range pat.Vars() {
-		if bound[v] {
-			return true
-		}
-	}
-	return false
-}
-
-func (e *evaluator) patternCost(pat Pattern, bound map[string]bool) int {
-	term := func(n Node) rdf.Term {
-		if !n.IsVar() {
-			return n.Term
-		}
-		if bound[n.Var] {
-			// Bound at runtime; approximate selectivity by treating the
-			// position as fixed with an unknown value: use zero term but
-			// discount the estimate below.
-			return rdf.Term{}
-		}
-		return rdf.Term{}
-	}
-	est := e.g.CardinalityEstimate(term(pat.S), term(pat.P), term(pat.O))
-	// Discount patterns whose variables are already bound: each bound
-	// variable roughly divides the work.
-	for _, v := range pat.Vars() {
-		if bound[v] {
-			est /= 4
-		}
-	}
-	return est
-}
-
-func (e *evaluator) applyFilters(rows []Binding) ([]Binding, error) {
-	if len(e.q.Filters) == 0 {
-		return rows, nil
-	}
-	out := rows[:0]
-	for _, row := range rows {
-		if err := e.tick(); err != nil {
-			return nil, err
-		}
-		keep := true
-		for _, f := range e.q.Filters {
-			v, err := f.Eval(row)
-			if err != nil {
-				// SPARQL: evaluation errors make the filter fail for
-				// this row, not the whole query.
-				keep = false
-				break
-			}
-			b, err := v.EffectiveBool()
-			if err != nil || !b {
-				keep = false
-				break
-			}
-		}
-		if keep {
-			out = append(out, row)
-		}
-	}
-	return out, nil
-}
-
-func (e *evaluator) project(rows []Binding) (*Results, error) {
-	q := e.q
-	if q.SelectAll {
-		vars := q.Vars()
-		res := &Results{Vars: vars}
-		res.Rows = e.distinct(projectVars(rows, vars))
-		return res, nil
-	}
-	if !q.HasAggregates() {
-		vars := make([]string, len(q.Projections))
-		for i, p := range q.Projections {
-			vars[i] = p.Var
-		}
-		res := &Results{Vars: vars}
-		res.Rows = e.distinct(projectVars(rows, vars))
-		return res, nil
-	}
-	return e.aggregate(rows)
-}
-
-func projectVars(rows []Binding, vars []string) []Binding {
-	out := make([]Binding, len(rows))
-	for i, row := range rows {
-		nb := make(Binding, len(vars))
-		for _, v := range vars {
-			if t, ok := row[v]; ok {
-				nb[v] = t
-			}
-		}
-		out[i] = nb
-	}
-	return out
-}
-
-func (e *evaluator) distinct(rows []Binding) []Binding {
-	if !e.q.Distinct {
-		return rows
-	}
-	seen := make(map[string]bool, len(rows))
-	out := rows[:0]
-	vars := e.projVars()
-	for _, row := range rows {
-		key := rowKey(row, vars)
-		if !seen[key] {
-			seen[key] = true
-			out = append(out, row)
-		}
-	}
-	return out
-}
-
-func (e *evaluator) projVars() []string {
-	if e.q.SelectAll {
-		return e.q.Vars()
-	}
-	vars := make([]string, 0, len(e.q.Projections))
-	for _, p := range e.q.Projections {
-		vars = append(vars, p.Name())
-	}
-	return vars
+	return runPlan(g, pl, opts.Budget)
 }
 
 // rowKey builds the composite dedup/grouping key for a row in a single
@@ -699,10 +109,22 @@ func rowKey(row Binding, vars []string) string {
 	return b.String()
 }
 
-// aggregate computes grouped aggregates. With no GROUP BY all rows form
-// one group.
-func (e *evaluator) aggregate(rows []Binding) (*Results, error) {
-	q := e.q
+// projectionNames returns the output column names (aggregate aliases
+// included).
+func projectionNames(q *Query) []string {
+	if q.SelectAll {
+		return q.Vars()
+	}
+	vars := make([]string, 0, len(q.Projections))
+	for _, p := range q.Projections {
+		vars = append(vars, p.Name())
+	}
+	return vars
+}
+
+// aggregateResults computes grouped aggregates over the full solution
+// rows. With no GROUP BY all rows form one group.
+func aggregateResults(q *Query, rows []Binding) (*Results, error) {
 	groups := make(map[string][]Binding)
 	var order []string
 	for _, row := range rows {
@@ -745,7 +167,19 @@ func (e *evaluator) aggregate(rows []Binding) (*Results, error) {
 		}
 		res.Rows = append(res.Rows, out)
 	}
-	res.Rows = e.distinct(res.Rows)
+	if q.Distinct {
+		seen := make(map[string]bool, len(res.Rows))
+		out := res.Rows[:0]
+		names := projectionNames(q)
+		for _, row := range res.Rows {
+			key := rowKey(row, names)
+			if !seen[key] {
+				seen[key] = true
+				out = append(out, row)
+			}
+		}
+		res.Rows = out
+	}
 	return res, nil
 }
 
@@ -830,10 +264,13 @@ func floatLit(f float64) rdf.Term {
 	return rdf.NewTypedLiteral(strconv.FormatFloat(f, 'g', -1, 64), rdf.XSDDouble)
 }
 
-// order sorts the result rows by the ORDER BY keys, falling back to a
-// total deterministic order when keys tie.
-func (e *evaluator) order(res *Results) {
-	keys := e.q.OrderBy
+// orderResults sorts aggregate output rows by the ORDER BY keys (whose
+// variables name output columns, unlike the pre-projection ordering of
+// plain queries), falling back to a total deterministic row-key order
+// when no keys were given — grouped rows come out of a map, so they need
+// a canonical order of their own.
+func orderResults(q *Query, res *Results) {
+	keys := q.OrderBy
 	sort.SliceStable(res.Rows, func(i, j int) bool {
 		a, b := res.Rows[i], res.Rows[j]
 		for _, k := range keys {
@@ -848,7 +285,6 @@ func (e *evaluator) order(res *Results) {
 		if len(keys) > 0 {
 			return false
 		}
-		// No explicit order: keep deterministic by full row key.
 		return rowKey(a, res.Vars) < rowKey(b, res.Vars)
 	})
 }
@@ -873,15 +309,15 @@ func compareTermsForOrder(a, b rdf.Term) int {
 	return a.Compare(b)
 }
 
-func (e *evaluator) page(res *Results) {
-	if e.q.Offset > 0 {
-		if e.q.Offset >= len(res.Rows) {
+func pageResults(q *Query, res *Results) {
+	if q.Offset > 0 {
+		if q.Offset >= len(res.Rows) {
 			res.Rows = nil
 		} else {
-			res.Rows = res.Rows[e.q.Offset:]
+			res.Rows = res.Rows[q.Offset:]
 		}
 	}
-	if e.q.Limit >= 0 && e.q.Limit < len(res.Rows) {
-		res.Rows = res.Rows[:e.q.Limit]
+	if q.Limit >= 0 && q.Limit < len(res.Rows) {
+		res.Rows = res.Rows[:q.Limit]
 	}
 }

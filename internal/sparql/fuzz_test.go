@@ -56,6 +56,18 @@ var fuzzSeedQueries = []string{
 	// Typed and escaped literals.
 	`SELECT ?s WHERE { ?s <http://x/age> "42"^^<http://www.w3.org/2001/XMLSchema#integer> . }`,
 	`SELECT ?s WHERE { ?s <http://x/q> "line\nbreak \"quoted\" back\\slash" . }`,
+	// Modifier combinations the streaming pipeline routes differently
+	// (top-k heap vs materialize-sort vs pure streaming slice).
+	`SELECT ?s ?n WHERE { ?s <http://x/name> ?n . FILTER (strlen(str(?n)) > 3) } ORDER BY ?n LIMIT 5 OFFSET 2`,
+	`SELECT DISTINCT ?n WHERE { ?s <http://x/name> ?n . } ORDER BY DESC(?n)`,
+	`SELECT ?s ?n WHERE { ?s a <http://x/Person> . OPTIONAL { ?s <http://x/name> ?n . } FILTER (bound(?n)) } LIMIT 3`,
+	`SELECT DISTINCT ?t WHERE { { ?x <http://x/a> ?t . } UNION { ?x <http://x/b> ?t . } } ORDER BY ?t LIMIT 4`,
+	`SELECT ?s ?n ?o WHERE { ?s <http://x/name> ?n . ?s <http://x/knows> ?o . } ORDER BY DESC(?n) ?o LIMIT 6`,
+	`SELECT ?s WHERE { ?s a <http://x/Person> . } ORDER BY ?s OFFSET 5`,
+	`SELECT (COUNT(?s) AS ?c) WHERE { ?s a <http://x/Person> . } GROUP BY ?t ORDER BY ?c LIMIT 2 OFFSET 1`,
+	`SELECT DISTINCT ?s WHERE { ?s ?p ?o . FILTER (isIRI(?o)) } ORDER BY DESC(?s) LIMIT 1 OFFSET 0`,
+	`SELECT ?a ?b WHERE { ?a <http://x/knows> ?b . OPTIONAL { ?b <http://x/knows> ?a . } } ORDER BY ?b ?a`,
+	`SELECT ?t WHERE { { ?x <http://x/a> ?t . } UNION { ?x <http://x/b> ?t . } OPTIONAL { ?t <http://x/c> ?y . } FILTER (?t != <http://x/z>) } ORDER BY DESC(?t) LIMIT 9 OFFSET 3`,
 	// Malformed inputs the parser tests pin (seed the error paths too).
 	`SELECT ?s WHERE { ?s ?p ?o`,
 	`SELECT ?s WHERE { ?s a <`,

@@ -1,0 +1,156 @@
+package sparql
+
+import (
+	"fmt"
+	"testing"
+
+	"sapphire/internal/rdf"
+	"sapphire/internal/store"
+)
+
+// skewStore builds the canonical planner scenario: a hub predicate
+// (`a Person`, n rows — touching it first is the classic bad plan), a
+// mid-size predicate (`knows`, n rows but selective once the subject is
+// bound), and a needle (`name "Person 7"`, exactly one row).
+func skewStore(t testing.TB, n int) *store.Store {
+	t.Helper()
+	s := store.New()
+	l := store.NewBulkLoader(s)
+	typ := rdf.NewIRI(rdf.RDFType)
+	person := rdf.NewIRI("http://x/Person")
+	name := rdf.NewIRI("http://x/name")
+	knows := rdf.NewIRI("http://x/knows")
+	for i := 0; i < n; i++ {
+		subj := rdf.NewIRI(fmt.Sprintf("http://x/p%d", i))
+		l.MustAdd(rdf.NewTriple(subj, typ, person))
+		l.MustAdd(rdf.NewTriple(subj, name, rdf.NewLangLiteral(fmt.Sprintf("Person %d", i), "en")))
+		l.MustAdd(rdf.NewTriple(subj, knows, rdf.NewIRI(fmt.Sprintf("http://x/p%d", (i+1)%n))))
+	}
+	l.Commit()
+	return s
+}
+
+// patOrder renders a pattern group as its predicate IRIs in order — a
+// compact golden form for join-order assertions.
+func patOrder(pats []Pattern) []string {
+	out := make([]string, len(pats))
+	for i, p := range pats {
+		if p.P.IsVar() {
+			out[i] = "?" + p.P.Var
+		} else {
+			out[i] = p.P.Term.Value
+		}
+	}
+	return out
+}
+
+func assertOrder(t *testing.T, got []Pattern, want ...string) {
+	t.Helper()
+	g := patOrder(got)
+	if len(g) != len(want) {
+		t.Fatalf("plan has %d patterns, want %d: %v", len(g), len(want), g)
+	}
+	for i := range want {
+		if g[i] != want[i] {
+			t.Fatalf("plan order %v, want %v", g, want)
+		}
+	}
+}
+
+// TestGreedyPlanSkewedStore is the planner's golden test: on the skewed
+// store, a query written worst-first (hub pattern, then the mid-size
+// scan, then the needle) must be reordered needle-first, with the
+// remaining patterns joined through the now-bound subject. With
+// reordering off, the textual order must survive untouched — that
+// contrast is exactly what BenchmarkEvalJoinOrder measures.
+func TestGreedyPlanSkewedStore(t *testing.T) {
+	s := skewStore(t, 1000)
+	q := MustParse(`SELECT ?s ?o WHERE {
+		?s a <http://x/Person> .
+		?s <http://x/knows> ?o .
+		?s <http://x/name> "Person 7"@en .
+	}`)
+
+	pl, err := newPlan(s, q, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Needle (1 row) first; then hub vs knows both cost n/4 with ?s
+	// bound — the tie keeps textual order, so the hub precedes knows.
+	assertOrder(t, pl.groups[0],
+		"http://x/name", rdf.RDFType, "http://x/knows")
+
+	raw, err := newPlan(s, q, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertOrder(t, raw.groups[0],
+		rdf.RDFType, "http://x/knows", "http://x/name")
+}
+
+// TestGreedyPlanAvoidsCartesian pins the cartesian-product penalty: a
+// pattern sharing a bound variable is preferred over a cheaper but
+// disconnected one, which only runs once no connected pattern is left.
+func TestGreedyPlanAvoidsCartesian(t *testing.T) {
+	s := skewStore(t, 1000)
+	// Needle binds ?a. The `?b a Person` hub is disconnected from ?a;
+	// `?a knows ?b` is connected but costs n. Greedy must still take the
+	// connected pattern before the cartesian hub.
+	q := MustParse(`SELECT ?a ?b WHERE {
+		?b a <http://x/Person> .
+		?a <http://x/name> "Person 3"@en .
+		?a <http://x/knows> ?b .
+	}`)
+	pl, err := newPlan(s, q, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertOrder(t, pl.groups[0],
+		"http://x/name", "http://x/knows", rdf.RDFType)
+}
+
+// TestGreedyPlanOrdersUnionBranchesAndOptionals pins that reordering is
+// applied per pattern group: each UNION branch is ordered on its own,
+// and an OPTIONAL block is ordered given everything bound upstream of
+// it (its patterns may probe upstream variables).
+func TestGreedyPlanOrdersUnionBranchesAndOptionals(t *testing.T) {
+	s := skewStore(t, 1000)
+	q := MustParse(`SELECT ?x WHERE {
+		{ ?x a <http://x/Person> . ?x <http://x/name> "Person 5"@en . }
+		UNION
+		{ ?x a <http://x/Person> . ?x <http://x/name> "Person 6"@en . }
+	}`)
+	pl, err := newPlan(s, q, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pl.groups) != 2 {
+		t.Fatalf("groups = %d, want 2", len(pl.groups))
+	}
+	for _, grp := range pl.groups {
+		assertOrder(t, grp, "http://x/name", rdf.RDFType)
+	}
+
+	q2 := MustParse(`SELECT ?x ?o WHERE {
+		?x <http://x/name> "Person 5"@en .
+		OPTIONAL { ?y <http://x/knows> ?o . ?x <http://x/knows> ?y . }
+	}`)
+	pl2, err := newPlan(s, q2, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pl2.optionals) != 1 {
+		t.Fatalf("optionals = %d, want 1", len(pl2.optionals))
+	}
+	// Inside the block, `?x knows ?y` shares the upstream-bound ?x; the
+	// textually earlier `?y knows ?o` would be a cartesian sweep.
+	want := []string{"http://x/knows", "http://x/knows"}
+	got := pl2.optionals[0]
+	if len(got) != 2 {
+		t.Fatalf("optional block has %d patterns: %v", len(got), patOrder(got))
+	}
+	assertOrder(t, got, want...)
+	if !got[0].S.IsVar() || got[0].S.Var != "x" {
+		t.Fatalf("optional block starts with subject %v, want ?x (the upstream-bound probe)", got[0].S)
+	}
+}

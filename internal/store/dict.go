@@ -3,6 +3,7 @@ package store
 import (
 	"hash/maphash"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 
@@ -125,6 +126,13 @@ type dict struct {
 	// were never restored.
 	base []ID
 
+	// numericLits is set (and never cleared) the first time a literal
+	// whose lexical form parses as a float is interned. The evaluator's
+	// ORDER BY comparator ranks such literals numerically, which can
+	// disagree with plain term order — so the rank-label top-k fast path
+	// is only exact while this stays false. See Store.OrderLabels.
+	numericLits atomic.Bool
+
 	seed maphash.Seed
 }
 
@@ -235,7 +243,30 @@ func (d *dict) internLocked(ds *dictShard, t rdf.Term) ID {
 	spine[id>>chunkShift][id&chunkMask] = t
 	ds.ids[t] = id
 	d.terms.Add(1)
+	if !d.numericLits.Load() && isNumericLiteral(&t) {
+		d.numericLits.Store(true)
+	}
 	return id
+}
+
+// isNumericLiteral reports whether t is a literal whose lexical value
+// parses as a float — exactly the values the evaluator's ORDER BY
+// comparator ranks numerically instead of by term order. The first-byte
+// gate keeps ParseFloat off the intern hot path for ordinary strings
+// ('i'/'I'/'n'/'N' are included because ParseFloat accepts "Inf",
+// "infinity" and "NaN" spellings).
+func isNumericLiteral(t *rdf.Term) bool {
+	if t.Kind != rdf.KindLiteral || len(t.Value) == 0 {
+		return false
+	}
+	switch c := t.Value[0]; {
+	case c >= '0' && c <= '9', c == '+', c == '-', c == '.',
+		c == 'i', c == 'I', c == 'n', c == 'N':
+	default:
+		return false
+	}
+	_, err := strconv.ParseFloat(t.Value, 64)
+	return err == nil
 }
 
 // claimRange grabs the next idRangeSize IDs from the global allocator

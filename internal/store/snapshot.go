@@ -381,6 +381,9 @@ func (d *dict) restore(payload []byte, termCount int, watermark ID) error {
 			return fmt.Errorf("store: snapshot: dictionary section out of term order at term %d", i)
 		}
 		prev = slot
+		if !d.numericLits.Load() && isNumericLiteral(slot) {
+			d.numericLits.Store(true)
+		}
 		base = append(base, id)
 	}
 	if len(payload) != 0 {

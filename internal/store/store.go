@@ -329,6 +329,19 @@ func (s *Store) MatchIDs(sub, pred, obj ID, fn func(s, p, o ID) bool) {
 	s.dict.maybeBuildRanks()
 	s.rlockAll()
 	defer s.runlockAll()
+	s.matchIDsLocked(sub, pred, obj, fn)
+}
+
+// matchIDsLocked is MatchIDs with every shard read lock already held.
+func (s *Store) matchIDsLocked(sub, pred, obj ID, fn func(s, p, o ID) bool) {
+	if sub != Wildcard {
+		s.shardFor(sub).matchLocked(sub, pred, obj, fn)
+		return
+	}
+	if len(s.shards) == 1 {
+		s.shards[0].matchLocked(sub, pred, obj, fn)
+		return
+	}
 	switch {
 	case pred != Wildcard:
 		s.matchPredBoundLocked(pred, obj, fn)
@@ -337,6 +350,25 @@ func (s *Store) MatchIDs(sub, pred, obj ID, fn func(s, p, o ID) bool) {
 	default:
 		s.matchScanLocked(fn)
 	}
+}
+
+// PinRead acquires every shard's read lock until the returned release is
+// called, letting the holder scan reentrantly via MatchIDsPinned: the
+// evaluator's streaming join issues the next pattern's scan from inside
+// the current scan's callback, which must not re-acquire locks (a queued
+// writer would deadlock a nested read-lock acquisition). A pinned reader
+// sees one consistent store state for its whole evaluation; writers wait
+// for release, exactly as they wait out a single long wildcard scan.
+func (s *Store) PinRead() (release func()) {
+	s.dict.maybeBuildRanks()
+	s.rlockAll()
+	return s.runlockAll
+}
+
+// MatchIDsPinned is MatchIDs under a PinRead session: no locking, safe
+// to call from inside its own callbacks.
+func (s *Store) MatchIDsPinned(sub, pred, obj ID, fn func(s, p, o ID) bool) {
+	s.matchIDsLocked(sub, pred, obj, fn)
 }
 
 // matchPredBoundLocked handles (?s P O) and (?s P ?o) across shards.
