@@ -20,14 +20,18 @@ import (
 	"time"
 
 	"sapphire/internal/experiments"
+	"sapphire/internal/sparql"
 )
 
 func main() {
 	var (
-		exp   = flag.String("exp", "all", "experiment: table1 | fig8 | fig9 | fig10 | fig11 | usage | init | qcm | qsm | hitratio | ablation | all")
-		scale = flag.String("scale", "full", "dataset scale: small | full")
+		exp      = flag.String("exp", "all", "experiment: table1 | fig8 | fig9 | fig10 | fig11 | usage | init | qcm | qsm | hitratio | ablation | all")
+		scale    = flag.String("scale", "full", "dataset scale: small | full")
+		parallel = flag.Int("parallel", 1,
+			"intra-query parallelism for every evaluation in the experiments (1 = serial; results are identical either way)")
 	)
 	flag.Parse()
+	sparql.SetDefaultWorkers(*parallel)
 
 	sc := experiments.Full
 	if *scale == "small" {

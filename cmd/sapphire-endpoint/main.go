@@ -30,6 +30,7 @@ import (
 	"sapphire/internal/datagen"
 	"sapphire/internal/endpoint"
 	"sapphire/internal/rdf"
+	"sapphire/internal/sparql"
 	"sapphire/internal/store"
 	"sapphire/internal/store/persist"
 )
@@ -51,13 +52,16 @@ func main() {
 			"durable store directory: recover on start, WAL /add writes, snapshot on shutdown (empty = in-memory only)")
 		snapshotEvery = flag.Int("snapshot-every", 0,
 			"take an automatic snapshot after this many WAL-logged triples (0 = only on shutdown)")
-		fsync = flag.String("fsync", "always", "WAL fsync policy: always | interval | off")
+		fsync    = flag.String("fsync", "always", "WAL fsync policy: always | interval | off")
+		parallel = flag.Int("parallel", 1,
+			"intra-query parallelism: join workers per query over morsels of the driving scan (1 = serial; results are identical either way)")
 	)
 	flag.Parse()
 
 	// Must run before any store is built; datagen and every other
 	// store.New caller picks up the process default.
 	store.SetDefaultShards(*shards)
+	sparql.SetDefaultWorkers(*parallel)
 
 	cfg := datagen.DefaultConfig()
 	if *scale == "small" {
@@ -112,6 +116,7 @@ func main() {
 		Latency:             *latency,
 		RejectEstimateAbove: *reject,
 		CacheBytes:          *cacheBytes,
+		Workers:             *parallel,
 	})
 	mux := http.NewServeMux()
 	mux.Handle("/sparql", endpoint.Handler(ep))

@@ -264,7 +264,7 @@ func diffQueries(rng *rand.Rand, n int, numeric bool) string {
 // online Adds and staged bulk commits — interleave with the queries, so
 // equivalence holds at every intermediate store state, not just the
 // final one.
-func diffWorkload(t *testing.T, storeShards, dictShards int, numeric bool) []string {
+func diffWorkload(t *testing.T, storeShards, dictShards, workers int, numeric bool) []string {
 	t.Helper()
 	const base = 24
 	rng := rand.New(rand.NewSource(4242))
@@ -284,7 +284,7 @@ func diffWorkload(t *testing.T, storeShards, dictShards int, numeric bool) []str
 			if err != nil {
 				t.Fatalf("parse %q: %v", qs, err)
 			}
-			got, err := Eval(s, q, Options{})
+			got, err := Eval(s, q, Options{Workers: workers})
 			if err != nil {
 				t.Fatalf("eval %q: %v", qs, err)
 			}
@@ -317,37 +317,44 @@ func diffWorkload(t *testing.T, storeShards, dictShards int, numeric bool) []str
 
 // TestDifferentialEquivalence is the evaluator-equivalence battery: the
 // streaming pipeline against the materializing reference, across every
-// (storeShards × dictShards) configuration in {1,8}², with and without
-// numeric literals (toggling the rank-label top-k path), under a seeded
-// workload of every query shape interleaved with online Adds and bulk
-// commits. Beyond streaming == reference per store, every
-// configuration's dump stream must match the (1,1) baseline — shard
-// routing must be observationally invisible.
+// (storeShards × dictShards × workers) configuration in {1,8}² × {1,4},
+// with and without numeric literals (toggling the rank-label top-k
+// path), under a seeded workload of every query shape interleaved with
+// online Adds and bulk commits. Beyond streaming == reference per
+// store, every configuration's dump stream must match the (1,1,serial)
+// baseline — neither shard routing nor morsel parallelism may be
+// observable in the output. The morsel size is pinned tiny so the
+// little test store still splits into many morsels per query,
+// exercising out-of-order completion and the ordered merge.
 func TestDifferentialEquivalence(t *testing.T) {
+	defer func(n int) { parallelMorselSize = n }(parallelMorselSize)
+	parallelMorselSize = 3
 	for _, numeric := range []bool{false, true} {
 		name := "termorder"
 		if numeric {
 			name = "numeric"
 		}
 		t.Run(name, func(t *testing.T) {
-			base := diffWorkload(t, 1, 1, numeric)
+			base := diffWorkload(t, 1, 1, 1, numeric)
 			if len(base) == 0 {
 				t.Fatal("workload produced no queries")
 			}
 			for _, ss := range []int{1, 8} {
 				for _, ds := range []int{1, 8} {
-					if ss == 1 && ds == 1 {
-						continue
-					}
-					t.Run(fmt.Sprintf("store%d-dict%d", ss, ds), func(t *testing.T) {
-						dumps := diffWorkload(t, ss, ds, numeric)
-						for i := range dumps {
-							if dumps[i] != base[i] {
-								t.Fatalf("query %d differs from (1,1) baseline:\n%s\n--- baseline ---\n%s",
-									i, dumps[i], base[i])
-							}
+					for _, w := range []int{1, 4} {
+						if ss == 1 && ds == 1 && w == 1 {
+							continue
 						}
-					})
+						t.Run(fmt.Sprintf("store%d-dict%d-workers%d", ss, ds, w), func(t *testing.T) {
+							dumps := diffWorkload(t, ss, ds, w, numeric)
+							for i := range dumps {
+								if dumps[i] != base[i] {
+									t.Fatalf("query %d differs from (1,1,serial) baseline:\n%s\n--- baseline ---\n%s",
+										i, dumps[i], base[i])
+								}
+							}
+						})
+					}
 				}
 			}
 		})

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync/atomic"
 
 	"sapphire/internal/rdf"
 )
@@ -72,13 +73,57 @@ type Budget func() error
 
 // Options configures evaluation.
 type Options struct {
-	// Budget, if non-nil, is called once per intermediate row.
+	// Budget, if non-nil, is called once per intermediate row. With
+	// Workers > 1 it may be called from several goroutines; the
+	// evaluator serializes the calls, so the callback itself needs no
+	// locking, but it must not assume any particular interleaving of
+	// rows.
 	Budget Budget
+
+	// Workers is the intra-query parallelism degree: the number of
+	// goroutines that execute the join chain over morsels of the
+	// driving scan (see parallel.go). 0 selects the process default
+	// (SetDefaultWorkers, itself 1 unless a -parallel flag raised it);
+	// values <= 1 evaluate serially. Parallel evaluation requires a
+	// ReentrantGraph (the in-memory store) and produces byte-identical
+	// results to serial evaluation, row order included.
+	Workers int
 
 	// noReorder keeps the textual pattern order instead of the greedy
 	// plan — only reachable in-package, to measure what greedy join
 	// ordering buys (BenchmarkEvalJoinOrder).
 	noReorder bool
+}
+
+// defaultWorkers is the process-wide intra-query parallelism default
+// used when Options.Workers is 0, settable once at startup via
+// SetDefaultWorkers (the serving commands wire their -parallel flag to
+// it before taking traffic). It starts at 1: parallelism is opt-in.
+var defaultWorkers atomic.Int32
+
+func init() { defaultWorkers.Store(1) }
+
+// DefaultWorkers returns the worker count Options.Workers == 0 selects.
+func DefaultWorkers() int { return int(defaultWorkers.Load()) }
+
+// SetDefaultWorkers overrides the process default worker count. n < 1
+// is clamped to 1 (serial). Intended for startup flag wiring.
+func SetDefaultWorkers(n int) {
+	if n < 1 {
+		n = 1
+	}
+	defaultWorkers.Store(int32(n))
+}
+
+// resolveWorkers maps an Options.Workers value to the effective degree.
+func resolveWorkers(w int) int {
+	if w == 0 {
+		w = DefaultWorkers()
+	}
+	if w < 1 {
+		return 1
+	}
+	return w
 }
 
 // Eval evaluates a query against a graph: it compiles a plan (slot
@@ -90,7 +135,7 @@ func Eval(g Graph, q *Query, opts Options) (*Results, error) {
 	if err != nil {
 		return nil, err
 	}
-	return runPlan(g, pl, opts.Budget)
+	return runPlan(g, pl, opts)
 }
 
 // rowKey builds the composite dedup/grouping key for a row in a single

@@ -192,6 +192,67 @@ func (x *exec) scanPattern(cp compiledPattern, row []uint32, yield func(ms, mp, 
 	return !stopped
 }
 
+// levelBind records which row slots one join level binds: the pattern's
+// variable positions that are still unbound when the level starts. It is
+// computed once per level entry and shared between the serial DFS
+// (runSeq) and the parallel workers, which replay the driving level's
+// binding for each morsel triple — a single source of truth for the
+// repeated-variable semantics.
+type levelBind struct {
+	su, pu, ou int // slots this level binds; -1 = constant or already bound
+}
+
+// bindSpec computes the level's unbound slots for the current row state.
+func bindSpec(cp compiledPattern, row []uint32) levelBind {
+	lb := levelBind{su: -1, pu: -1, ou: -1}
+	if cp.s.slot >= 0 && row[cp.s.slot] == 0 {
+		lb.su = cp.s.slot
+	}
+	if cp.p.slot >= 0 && row[cp.p.slot] == 0 {
+		lb.pu = cp.p.slot
+	}
+	if cp.o.slot >= 0 && row[cp.o.slot] == 0 {
+		lb.ou = cp.o.slot
+	}
+	return lb
+}
+
+// apply writes the match into the row's unbound slots, reporting false
+// when a variable repeated within the pattern matched two different
+// terms (the row is then untouched).
+func (lb levelBind) apply(row []uint32, ms, mp, mo uint32) bool {
+	if lb.su >= 0 && ((lb.su == lb.pu && ms != mp) || (lb.su == lb.ou && ms != mo)) {
+		return false
+	}
+	if lb.pu >= 0 && lb.pu == lb.ou && mp != mo {
+		return false
+	}
+	if lb.su >= 0 {
+		row[lb.su] = ms
+	}
+	if lb.pu >= 0 {
+		row[lb.pu] = mp
+	}
+	if lb.ou >= 0 {
+		row[lb.ou] = mo
+	}
+	return true
+}
+
+// clear resets the slots apply bound, so sibling matches and later
+// pattern groups see a clean row.
+func (lb levelBind) clear(row []uint32) {
+	if lb.su >= 0 {
+		row[lb.su] = 0
+	}
+	if lb.pu >= 0 {
+		row[lb.pu] = 0
+	}
+	if lb.ou >= 0 {
+		row[lb.ou] = 0
+	}
+}
+
 // runSeq joins pats[lvl:] into row depth-first — an index-nested-loop
 // join with no per-level materialization — pushing each completed row to
 // out. Level filters (single-group queries only) run the moment their
@@ -204,32 +265,10 @@ func (x *exec) runSeq(pats []compiledPattern, lfilters []*filterStage, lvl int, 
 		return out.push(row)
 	}
 	cp := pats[lvl]
-	su, pu, ou := -1, -1, -1 // slots this level binds (currently unbound vars)
-	if cp.s.slot >= 0 && row[cp.s.slot] == 0 {
-		su = cp.s.slot
-	}
-	if cp.p.slot >= 0 && row[cp.p.slot] == 0 {
-		pu = cp.p.slot
-	}
-	if cp.o.slot >= 0 && row[cp.o.slot] == 0 {
-		ou = cp.o.slot
-	}
+	lb := bindSpec(cp, row)
 	return x.scanPattern(cp, row, func(ms, mp, mo uint32) bool {
-		// A variable repeated within the pattern must match one term.
-		if su >= 0 && ((su == pu && ms != mp) || (su == ou && ms != mo)) {
+		if !lb.apply(row, ms, mp, mo) {
 			return true
-		}
-		if pu >= 0 && pu == ou && mp != mo {
-			return true
-		}
-		if su >= 0 {
-			row[su] = ms
-		}
-		if pu >= 0 {
-			row[pu] = mp
-		}
-		if ou >= 0 {
-			row[ou] = mo
 		}
 		keep := true
 		if lfilters != nil && lfilters[lvl] != nil {
@@ -239,15 +278,7 @@ func (x *exec) runSeq(pats []compiledPattern, lfilters []*filterStage, lvl int, 
 		if keep && x.err == nil {
 			ok = x.runSeq(pats, lfilters, lvl+1, row, out)
 		}
-		if su >= 0 {
-			row[su] = 0
-		}
-		if pu >= 0 {
-			row[pu] = 0
-		}
-		if ou >= 0 {
-			row[ou] = 0
-		}
+		lb.clear(row)
 		return ok && x.err == nil
 	})
 }
@@ -645,46 +676,29 @@ func (op *topKOp) flush() bool {
 	return op.next.flush()
 }
 
-// runPlan assembles the operator chain for the plan and drives it:
-//
-//	scan/join (DFS, level filters inline)
-//	  → [left join per OPTIONAL block, its stage filters after it]
-//	  → [end-stage filters]
-//	  → ORDER BY (top-k heap | stable sort) — buffering, pre-projection
-//	  → project → DISTINCT (ID hash set) → OFFSET/LIMIT slice → collect
-//
-// Aggregate queries collect full rows instead of the modifier tail and
-// reuse the grouped-aggregation code path unchanged.
-func runPlan(g Graph, pl *plan, budget Budget) (*Results, error) {
-	q := pl.q
-	x := &exec{pl: pl, g: g, budget: budget}
-	if ig, ok := g.(IDGraph); ok {
-		x.ig = ig
-		if rg, ok := g.(ReentrantGraph); ok {
-			release := rg.PinRead()
-			defer release()
-			x.matchIDs = rg.MatchIDsPinned
-		} else {
-			// Plain IDGraphs must tolerate nested MatchIDs calls.
-			x.matchIDs = ig.MatchIDs
-		}
-	} else {
-		x.ld = newLocalDict()
-	}
+// tailSpec describes the buffering head of the modifier tail to the
+// parallel runner, so each worker can run the equivalent bounded
+// operator per morsel: a top-k pruner when the tail is the bounded
+// ORDER BY heap, a row cap of skip+limit when every produced row
+// reaches the slice unconditionally (no ORDER BY, no DISTINCT, no
+// aggregation — projection never drops rows), unbounded otherwise.
+type tailSpec struct {
+	topK    bool
+	k       int
+	desc    bool
+	keySlot int
+	label   func(uint32) uint64
+	rowCap  int // -1 = unbounded
+}
 
-	aggregates := q.HasAggregates()
-	var projVars []string
-	switch {
-	case aggregates:
-		projVars = pl.varNames
-	case q.SelectAll:
-		projVars = pl.varNames
-	default:
-		projVars = make([]string, len(q.Projections))
-		for i, p := range q.Projections {
-			projVars[i] = p.Var
-		}
-	}
+// buildTail assembles the modifier tail of the pipeline — ORDER BY
+// (top-k heap | stable sort) → project → DISTINCT → OFFSET/LIMIT slice
+// → collect — and returns its entry sink, the terminal collector, and
+// the tailSpec the parallel runner mirrors per morsel. Aggregate
+// queries collect full rows directly (their modifiers apply after
+// grouping).
+func buildTail(x *exec, projVars []string, aggregates bool) (sink, *collectOp, tailSpec) {
+	q, pl, g := x.pl.q, x.pl, x.g
 	projSlots := make([]int, len(projVars))
 	identity := len(projVars) == pl.width()
 	for i, v := range projVars {
@@ -698,48 +712,65 @@ func runPlan(g Graph, pl *plan, budget Budget) (*Results, error) {
 		}
 	}
 
+	spec := tailSpec{rowCap: -1}
 	collect := &collectOp{x: x, vars: projVars}
 	var tail sink = collect
-	if !aggregates {
-		if q.Offset > 0 || q.Limit >= 0 {
-			remain := q.Limit
-			if remain < 0 {
-				remain = -1
-			}
-			tail = &sliceOp{skip: q.Offset, remain: remain, next: tail}
+	if aggregates {
+		return tail, collect, spec
+	}
+	if q.Offset > 0 || q.Limit >= 0 {
+		remain := q.Limit
+		if remain < 0 {
+			remain = -1
 		}
-		if q.Distinct {
-			tail = &distinctOp{seen: make(map[string]struct{}), next: tail}
-		}
-		if !identity {
-			tail = &projectOp{slots: projSlots, buf: make([]uint32, len(projSlots)), next: tail}
-		}
-		if len(q.OrderBy) > 0 {
-			if len(q.OrderBy) == 1 && q.Limit >= 0 && !q.Distinct {
-				op := &topKOp{x: x, k: q.Offset + q.Limit, desc: q.OrderBy[0].Desc, keySlot: -1, next: tail}
-				if s, ok := pl.slots[q.OrderBy[0].Var]; ok {
-					op.keySlot = s
-				}
-				if og, ok := g.(OrderedGraph); ok {
-					if label, exact := og.OrderLabels(); exact {
-						op.label = label // may be nil: term fallback per item
-					}
-				}
-				tail = op
-			} else {
-				op := &sortAllOp{x: x, keys: q.OrderBy, keySlots: make([]int, len(q.OrderBy)), next: tail}
-				for i, k := range q.OrderBy {
-					if s, ok := pl.slots[k.Var]; ok {
-						op.keySlots[i] = s
-					} else {
-						op.keySlots[i] = -1
-					}
-				}
-				tail = op
-			}
+		tail = &sliceOp{skip: q.Offset, remain: remain, next: tail}
+		if q.Limit >= 0 && len(q.OrderBy) == 0 && !q.Distinct {
+			spec.rowCap = q.Offset + q.Limit
 		}
 	}
+	if q.Distinct {
+		tail = &distinctOp{seen: make(map[string]struct{}), next: tail}
+	}
+	if !identity {
+		tail = &projectOp{slots: projSlots, buf: make([]uint32, len(projSlots)), next: tail}
+	}
+	if len(q.OrderBy) > 0 {
+		if len(q.OrderBy) == 1 && q.Limit >= 0 && !q.Distinct {
+			op := &topKOp{x: x, k: q.Offset + q.Limit, desc: q.OrderBy[0].Desc, keySlot: -1, next: tail}
+			if s, ok := pl.slots[q.OrderBy[0].Var]; ok {
+				op.keySlot = s
+			}
+			if og, ok := g.(OrderedGraph); ok {
+				if label, exact := og.OrderLabels(); exact {
+					op.label = label // may be nil: term fallback per item
+				}
+			}
+			tail = op
+			spec.topK, spec.k, spec.desc, spec.keySlot, spec.label =
+				true, op.k, op.desc, op.keySlot, op.label
+		} else {
+			op := &sortAllOp{x: x, keys: q.OrderBy, keySlots: make([]int, len(q.OrderBy)), next: tail}
+			for i, k := range q.OrderBy {
+				if s, ok := pl.slots[k.Var]; ok {
+					op.keySlots[i] = s
+				} else {
+					op.keySlots[i] = -1
+				}
+			}
+			tail = op
+		}
+	}
+	return tail, collect, spec
+}
 
+// buildRowStages wraps tail with the per-row stages that run between
+// the base join and the modifier tail: base-stage filters, one left
+// join per OPTIONAL block (each followed by its stage filters), and the
+// end-stage filters. The serial path builds this once; the parallel
+// path builds one per worker (leftJoinOp carries per-row state), all
+// sharing x's compiled filter stages via the exec passed in.
+func (x *exec) buildRowStages(tail sink) sink {
+	pl := x.pl
 	chain := tail
 	if st := x.newFilterStage(pl.endFilters); st != nil {
 		chain = &filterOp{x: x, st: st, next: chain}
@@ -753,30 +784,115 @@ func runPlan(g Graph, pl *plan, budget Budget) (*Results, error) {
 	if st := x.newFilterStage(pl.baseFilters); st != nil {
 		chain = &filterOp{x: x, st: st, next: chain}
 	}
+	return chain
+}
 
-	var lf []*filterStage
-	if len(pl.levelFilters) > 0 {
-		any := false
-		lf = make([]*filterStage, len(pl.levelFilters))
-		for i, exprs := range pl.levelFilters {
-			lf[i] = x.newFilterStage(exprs)
-			any = any || lf[i] != nil
-		}
-		if !any {
-			lf = nil
+// levelFilterStages compiles the plan's join-level filters (nil when no
+// level has any). The stages are read-only once built, so the parallel
+// workers share one set.
+func (x *exec) levelFilterStages() []*filterStage {
+	if len(x.pl.levelFilters) == 0 {
+		return nil
+	}
+	any := false
+	lf := make([]*filterStage, len(x.pl.levelFilters))
+	for i, exprs := range x.pl.levelFilters {
+		lf[i] = x.newFilterStage(exprs)
+		any = any || lf[i] != nil
+	}
+	if !any {
+		return nil
+	}
+	return lf
+}
+
+// runPlan assembles the operator chain for the plan and drives it:
+//
+//	scan/join (DFS, level filters inline)
+//	  → [left join per OPTIONAL block, its stage filters after it]
+//	  → [end-stage filters]
+//	  → ORDER BY (top-k heap | stable sort) — buffering, pre-projection
+//	  → project → DISTINCT (ID hash set) → OFFSET/LIMIT slice → collect
+//
+// Aggregate queries collect full rows instead of the modifier tail and
+// reuse the grouped-aggregation code path unchanged.
+//
+// With opts.Workers > 1 and a ReentrantGraph, the scan/join stage runs
+// morsel-parallel (see parallel.go): workers execute the per-row stages
+// over morsels of the driving scan and the coordinator feeds the
+// modifier tail in morsel order, so the output is byte-identical to the
+// serial pipeline.
+func runPlan(g Graph, pl *plan, opts Options) (*Results, error) {
+	q := pl.q
+	aggregates := q.HasAggregates()
+	var projVars []string
+	switch {
+	case aggregates:
+		projVars = pl.varNames
+	case q.SelectAll:
+		projVars = pl.varNames
+	default:
+		projVars = make([]string, len(q.Projections))
+		for i, p := range q.Projections {
+			projVars[i] = p.Var
 		}
 	}
 
-	row := make([]uint32, pl.width())
-	for _, grp := range pl.groups {
-		if !x.runSeq(x.compile(grp), lf, 0, row, chain) {
-			break
+	// LIMIT 0 can only ever produce the empty result set; answer it at
+	// plan time with zero scans, zero budget ticks, and zero locking.
+	// (Without this, an ORDER BY tail would build an Offset-sized top-k
+	// heap and a plain tail would scan Offset+1 rows, only to emit
+	// nothing.) Aggregates keep the full path: their projection names
+	// are computed by the aggregation tail.
+	if !aggregates && q.Limit == 0 {
+		return &Results{Vars: projVars}, nil
+	}
+
+	workers := resolveWorkers(opts.Workers)
+	budget := opts.Budget
+	rg, reentrant := g.(ReentrantGraph)
+	parallel := workers > 1 && reentrant
+	if parallel && budget != nil {
+		budget = serializedBudget(budget)
+	}
+
+	x := &exec{pl: pl, g: g, budget: budget}
+	if ig, ok := g.(IDGraph); ok {
+		x.ig = ig
+		if reentrant {
+			release := rg.PinRead()
+			defer release()
+			x.matchIDs = rg.MatchIDsPinned
+		} else {
+			// Plain IDGraphs must tolerate nested MatchIDs calls.
+			x.matchIDs = ig.MatchIDs
+		}
+	} else {
+		x.ld = newLocalDict()
+	}
+
+	tail, collect, spec := buildTail(x, projVars, aggregates)
+
+	var pr *parallelRun
+	if parallel {
+		pr = newParallelRun(x, workers, spec) // nil: shape needs the serial path
+	}
+	if pr != nil {
+		pr.run(tail)
+	} else {
+		chain := x.buildRowStages(tail)
+		lf := x.levelFilterStages()
+		row := make([]uint32, pl.width())
+		for _, grp := range pl.groups {
+			if !x.runSeq(x.compile(grp), lf, 0, row, chain) {
+				break
+			}
 		}
 	}
 	if x.err != nil {
 		return nil, x.err
 	}
-	chain.flush()
+	tail.flush()
 	if x.err != nil {
 		return nil, x.err
 	}

@@ -184,6 +184,74 @@ func TestFilterLimitStopsEarly(t *testing.T) {
 	}
 }
 
+// TestLimitZeroShortCircuit pins the LIMIT 0 plan-time answer: a
+// non-aggregate query with LIMIT 0 — with or without OFFSET, ORDER BY,
+// DISTINCT, UNION, OPTIONAL — returns the empty result set without a
+// single budget tick or term resolution. Before the short-circuit,
+// `ORDER BY ?n LIMIT 0 OFFSET 5` built a 5-item top-k heap and scanned
+// every row just to emit nothing.
+func TestLimitZeroShortCircuit(t *testing.T) {
+	s := buildWide(t, 500)
+	s.BuildOrderLabels()
+	shapes := []string{
+		`SELECT ?s WHERE { ?s a <http://x/Person> . } LIMIT 0`,
+		`SELECT ?s WHERE { ?s a <http://x/Person> . } LIMIT 0 OFFSET 5`,
+		`SELECT ?s ?n WHERE { ?s <http://x/name> ?n . } ORDER BY ?n LIMIT 0 OFFSET 7`,
+		`SELECT DISTINCT ?o WHERE { ?s ?p ?o . } LIMIT 0`,
+		`SELECT ?s WHERE { { ?s a <http://x/Person> . } UNION { ?s ?p ?o . } } LIMIT 0`,
+		`SELECT ?s ?n WHERE { ?s a <http://x/Person> . OPTIONAL { ?s <http://x/name> ?n . } } LIMIT 0 OFFSET 3`,
+	}
+	for _, src := range shapes {
+		q := MustParse(src)
+		cg := &countingGraph{Store: s}
+		ticks := 0
+		res, err := Eval(cg, q, Options{Budget: func() error { ticks++; return nil }})
+		if err != nil {
+			t.Fatalf("eval %q: %v", src, err)
+		}
+		if len(res.Rows) != 0 {
+			t.Errorf("%s: got %d rows, want 0", src, len(res.Rows))
+		}
+		if len(res.Vars) == 0 {
+			t.Errorf("%s: projection vars missing from empty result", src)
+		}
+		if ticks != 0 || cg.resolves != 0 {
+			t.Errorf("%s: ticked %d times and resolved %d terms, want 0 and 0", src, ticks, cg.resolves)
+		}
+	}
+
+	// Aggregates are excluded: COUNT over an empty page is still computed
+	// by the aggregation tail (and legitimately scans), then paged to
+	// zero rows.
+	res := eval(t, s, `SELECT (COUNT(?s) AS ?c) WHERE { ?s a <http://x/Person> . } LIMIT 0`)
+	if len(res.Rows) != 0 {
+		t.Errorf("aggregate LIMIT 0: got %d rows, want 0", len(res.Rows))
+	}
+}
+
+// TestUnionLimitStopsSiblingBranches pins that sliceOp's push→false
+// verdict propagates across UNION branches, not just up the current
+// branch's DFS: with `{A} UNION {B} LIMIT k` where A alone satisfies k,
+// branch B — a full-store sweep here — must never start, so the tick
+// count stays at k. (runSeq returns false out of the branch loop the
+// moment the sink is satisfied; this test keeps it that way.)
+func TestUnionLimitStopsSiblingBranches(t *testing.T) {
+	const n = 2000
+	s := buildWide(t, n) // branch B sweeps 3n triples if it runs
+	q := MustParse(`SELECT ?s WHERE { { ?s a <http://x/Person> . } UNION { ?s ?p ?o . } } LIMIT 3`)
+	ticks := 0
+	res, err := Eval(s, q, Options{Budget: func() error { ticks++; return nil }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("got %d rows, want 3", len(res.Rows))
+	}
+	if ticks > 3 {
+		t.Errorf("ticked %d times, want <= 3 — sibling UNION branch ran after LIMIT was satisfied", ticks)
+	}
+}
+
 // countingGraph wraps the store and counts ResolveID calls — the
 // ID-to-term materializations an evaluation performs. All the optional
 // interfaces the pipeline probes for (ReentrantGraph, OrderedGraph) are
@@ -245,5 +313,62 @@ func TestOrderByLimitResolvesOnlyK(t *testing.T) {
 	}
 	if cg.resolves*10 > cg2.resolves {
 		t.Errorf("labels saved too little: %d resolves with labels vs %d without", cg.resolves, cg2.resolves)
+	}
+}
+
+// TestOrderByOptionalUnboundKey pins the top-k heap's handling of rows
+// whose ORDER BY key is unbound (the var is bound only in an OPTIONAL
+// block, and some rows have no match): slot 0 means it.id stays 0, the
+// label shortcut must not fire (label(0) would be whatever the rank
+// table says about "no term"), and the term fallback compares the zero
+// Term — exactly what the full-sort path does with a missing key. The
+// heap page must therefore equal the sort-everything page row-for-row,
+// ascending and descending, with and without rank labels.
+func TestOrderByOptionalUnboundKey(t *testing.T) {
+	const n = 60
+	s := store.New()
+	typ := rdf.NewIRI(rdf.RDFType)
+	person := rdf.NewIRI("http://x/Person")
+	name := rdf.NewIRI("http://x/name")
+	for i := 0; i < n; i++ {
+		subj := rdf.NewIRI(fmt.Sprintf("http://x/p%02d", i))
+		s.MustAdd(rdf.NewTriple(subj, typ, person))
+		if i%3 != 0 { // every third subject has no name: unbound key rows
+			s.MustAdd(rdf.NewTriple(subj, name, rdf.NewLangLiteral(fmt.Sprintf("Person %02d", i), "en")))
+		}
+	}
+	s.BuildOrderLabels()
+
+	for _, dir := range []string{"?n", "DESC(?n)"} {
+		base := fmt.Sprintf(
+			`SELECT ?s ?n WHERE { ?s a <http://x/Person> . OPTIONAL { ?s <http://x/name> ?n . } } ORDER BY %s`, dir)
+		for _, noLabels := range []bool{false, true} {
+			cg := &countingGraph{Store: s, noLabels: noLabels}
+			fullRes, err := Eval(cg, MustParse(base), Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			full := rowStrings(fullRes) // no LIMIT: sortAllOp path
+			for _, k := range []int{1, 5, n / 2, n + 10} {
+				topRes, err := Eval(cg, MustParse(fmt.Sprintf("%s LIMIT %d", base, k)), Options{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				got := rowStrings(topRes) // LIMIT: topKOp path
+				want := full
+				if k < len(want) {
+					want = want[:k]
+				}
+				if len(got) != len(want) {
+					t.Fatalf("ORDER BY %s LIMIT %d (noLabels=%v): %d rows, want %d", dir, k, noLabels, len(got), len(want))
+				}
+				for i := range got {
+					if got[i] != want[i] {
+						t.Fatalf("ORDER BY %s LIMIT %d (noLabels=%v): row %d = %q, want %q (top-k diverged from full sort on unbound keys)",
+							dir, k, noLabels, i, got[i], want[i])
+					}
+				}
+			}
+		}
 	}
 }
