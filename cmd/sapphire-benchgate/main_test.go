@@ -1,0 +1,195 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeBench(t *testing.T, dir, name string, rows map[string]float64) string {
+	t.Helper()
+	doc := File{Benchmarks: make(map[string]Result, len(rows))}
+	for k, v := range rows {
+		doc.Benchmarks[k] = Result{NsPerOp: v, Runs: 1}
+	}
+	data, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// servingBaseline is a plausible serving-SLO baseline: one latency
+// ladder and a throughput row per phase.
+func servingBaseline() map[string]float64 {
+	return map[string]float64{
+		"Serving/hot-cache/p50":        200_000,
+		"Serving/hot-cache/p99":        900_000,
+		"Serving/hot-cache/p999":       2_000_000,
+		"Serving/hot-cache/throughput": 5_000,
+		"Serving/qald/p50":             400_000,
+		"Serving/qald/p99":             1_500_000,
+		"Serving/qald/p999":            3_000_000,
+		"Serving/qald/throughput":      2_000,
+	}
+}
+
+// TestSLOGateFailsOnP99Regression is the acceptance-criteria check: a
+// synthetic 2x p99 regression must fail the gate.
+func TestSLOGateFailsOnP99Regression(t *testing.T) {
+	dir := t.TempDir()
+	base := writeBench(t, dir, "base.json", servingBaseline())
+	regressed := servingBaseline()
+	regressed["Serving/hot-cache/p99"] *= 2
+	cur := writeBench(t, dir, "cur.json", regressed)
+	ok, err := compareMode(base, cur, 0.50, 0, splitList(defaultRequiredSLO))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("2x p99 regression passed the SLO gate")
+	}
+}
+
+// TestSLOGateFailsOnThroughputDrop pins the inverted comparison: a
+// halved throughput is a regression even though the number went DOWN.
+func TestSLOGateFailsOnThroughputDrop(t *testing.T) {
+	dir := t.TempDir()
+	base := writeBench(t, dir, "base.json", servingBaseline())
+	dropped := servingBaseline()
+	dropped["Serving/qald/throughput"] /= 2
+	cur := writeBench(t, dir, "cur.json", dropped)
+	ok, err := compareMode(base, cur, 0.40, 0, splitList(defaultRequiredSLO))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("halved throughput passed the SLO gate")
+	}
+}
+
+// TestSLOGatePassesWithinThreshold: noise-scale movement in either
+// direction — latency up a bit, throughput down a bit, and an
+// *improvement* in both — stays green.
+func TestSLOGatePassesWithinThreshold(t *testing.T) {
+	dir := t.TempDir()
+	base := writeBench(t, dir, "base.json", servingBaseline())
+	wiggled := servingBaseline()
+	wiggled["Serving/hot-cache/p99"] *= 1.3      // +30% latency, under 50%
+	wiggled["Serving/qald/throughput"] *= 0.8    // -20% throughput, under 50%
+	wiggled["Serving/qald/p50"] *= 0.5           // improvement
+	wiggled["Serving/hot-cache/throughput"] *= 3 // improvement
+	cur := writeBench(t, dir, "cur.json", wiggled)
+	ok, err := compareMode(base, cur, 0.50, 0, splitList(defaultRequiredSLO))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("within-threshold run failed the SLO gate")
+	}
+}
+
+// TestSLOGateFailsOnMissingRow: a phase disappearing from the current
+// run (say, a renamed phase) must fail, not silently un-gate.
+func TestSLOGateFailsOnMissingRow(t *testing.T) {
+	dir := t.TempDir()
+	base := writeBench(t, dir, "base.json", servingBaseline())
+	partial := servingBaseline()
+	delete(partial, "Serving/qald/p999")
+	cur := writeBench(t, dir, "cur.json", partial)
+	ok, err := compareMode(base, cur, 0.50, 0, splitList(defaultRequiredSLO))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("missing required row passed the SLO gate")
+	}
+}
+
+// TestSLOGateVacuityCheck: a baseline with no Serving rows at all makes
+// the gate vacuous and must fail loudly.
+func TestSLOGateVacuityCheck(t *testing.T) {
+	dir := t.TempDir()
+	base := writeBench(t, dir, "base.json", map[string]float64{"BenchmarkSomething": 100})
+	cur := writeBench(t, dir, "cur.json", map[string]float64{"BenchmarkSomething": 100})
+	ok, err := compareMode(base, cur, 0.50, 0, splitList(defaultRequiredSLO))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("vacuous SLO gate passed")
+	}
+}
+
+// TestSLOGateAbsoluteSlack: a microsecond-scale row doubling stays
+// green under the slack floor (relative noise on tiny absolutes), while
+// a millisecond-scale doubling still fails — and the slack never
+// excuses throughput drops.
+func TestSLOGateAbsoluteSlack(t *testing.T) {
+	dir := t.TempDir()
+	rows := servingBaseline()
+	rows["Serving/federation-flap/p99"] = 40_000 // 40µs
+	base := writeBench(t, dir, "base.json", rows)
+
+	small := servingBaseline()
+	small["Serving/federation-flap/p99"] = 80_000 // +100%, but only +40µs
+	cur := writeBench(t, dir, "cur.json", small)
+	ok, err := compareMode(base, cur, 0.50, 250_000, splitList(defaultRequiredSLO))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("sub-slack microsecond regression tripped the gate")
+	}
+
+	big := servingBaseline()
+	big["Serving/federation-flap/p99"] = 40_000
+	big["Serving/hot-cache/p99"] *= 2 // +900µs, past the slack
+	cur = writeBench(t, dir, "cur2.json", big)
+	ok, err = compareMode(base, cur, 0.50, 250_000, splitList(defaultRequiredSLO))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("2x millisecond-scale p99 passed under slack")
+	}
+
+	slow := servingBaseline()
+	slow["Serving/federation-flap/p99"] = 40_000
+	slow["Serving/qald/throughput"] /= 4
+	cur = writeBench(t, dir, "cur3.json", slow)
+	ok, err = compareMode(base, cur, 0.50, 250_000, splitList(defaultRequiredSLO))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("throughput collapse passed — slack must not apply to throughput rows")
+	}
+}
+
+// TestClassicGateStillWorks: the pre-existing ns/op direction for
+// ordinary benchmark rows is unchanged by the throughput special case.
+func TestClassicGateStillWorks(t *testing.T) {
+	dir := t.TempDir()
+	base := writeBench(t, dir, "base.json", map[string]float64{"BenchmarkEvalTwoHopJoin": 1000})
+	cur := writeBench(t, dir, "cur.json", map[string]float64{"BenchmarkEvalTwoHopJoin": 1500})
+	ok, err := compareMode(base, cur, 0.30, 0, splitList("BenchmarkEvalTwoHopJoin"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("+50% ns/op regression passed a 30% gate")
+	}
+	ok, err = compareMode(base, cur, 0.60, 0, splitList("BenchmarkEvalTwoHopJoin"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("+50% ns/op failed a 60% gate")
+	}
+}

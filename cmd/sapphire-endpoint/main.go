@@ -20,7 +20,6 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"io"
 	"log"
 	"net/http"
 	"os/signal"
@@ -29,7 +28,6 @@ import (
 
 	"sapphire/internal/datagen"
 	"sapphire/internal/endpoint"
-	"sapphire/internal/rdf"
 	"sapphire/internal/sparql"
 	"sapphire/internal/store"
 	"sapphire/internal/store/persist"
@@ -118,8 +116,9 @@ func main() {
 		CacheBytes:          *cacheBytes,
 		Workers:             *parallel,
 	})
-	mux := http.NewServeMux()
-	mux.Handle("/sparql", endpoint.Handler(ep))
+	// NewMux mounts the routed serving surface — /sparql, /epoch,
+	// /healthz — and returns a plain ServeMux for the extra routes.
+	mux := endpoint.NewMux(ep)
 	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
 		s := ep.Stats()
 		epoch, _ := ep.Epoch(r.Context())
@@ -130,7 +129,7 @@ func main() {
 			s.CacheBytes, s.CacheEntries)
 	})
 	if db != nil {
-		mux.HandleFunc("/add", addHandler(db))
+		mux.Handle("/add", endpoint.AddHandler(db))
 	}
 
 	srv := &http.Server{Addr: *addr, Handler: mux}
@@ -158,35 +157,5 @@ func main() {
 		if err := db.Close(); err != nil {
 			log.Printf("close: %v", err)
 		}
-	}
-}
-
-// addHandler accepts N-Triples in the POST body and applies them as one
-// durable batch: WAL-logged with a commit marker, so a crash mid-add
-// keeps either all of the batch or none of it.
-func addHandler(db *persist.DB) http.HandlerFunc {
-	return func(w http.ResponseWriter, r *http.Request) {
-		if r.Method != http.MethodPost {
-			http.Error(w, "POST N-Triples to /add", http.StatusMethodNotAllowed)
-			return
-		}
-		rd := rdf.NewReader(io.LimitReader(r.Body, 64<<20))
-		var triples []rdf.Triple
-		for {
-			tr, err := rd.Read()
-			if err == io.EOF {
-				break
-			}
-			if err != nil {
-				http.Error(w, err.Error(), http.StatusBadRequest)
-				return
-			}
-			triples = append(triples, tr)
-		}
-		if err := db.AddAll(triples); err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
-			return
-		}
-		fmt.Fprintf(w, "added %d triples\n", len(triples))
 	}
 }

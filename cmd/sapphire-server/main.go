@@ -29,6 +29,15 @@ import (
 	"sapphire/internal/webapi"
 )
 
+// fedEndpoint adapts the Sapphire client's federated execution to the
+// endpoint.Endpoint shape NewMux serves.
+type fedEndpoint struct{ client *sapphire.Client }
+
+func (f fedEndpoint) Name() string { return "sapphire-federation" }
+func (f fedEndpoint) Query(ctx context.Context, query string) (*sparql.Results, error) {
+	return f.client.Query(ctx, query)
+}
+
 type multiFlag []string
 
 func (m *multiFlag) String() string     { return strings.Join(*m, ",") }
@@ -120,7 +129,15 @@ func main() {
 	log.Printf("cache ready: %d predicates, %d literals (%d significant)",
 		st.PredicateCount, st.LiteralCount, st.SignificantCount)
 
-	srv := &http.Server{Addr: *addr, Handler: webapi.Handler(client)}
+	// The SPARQL-protocol surface (/sparql, /epoch, /healthz) rides
+	// alongside the JSON web API: queries POSTed to /sparql execute
+	// through the same federation as /query, so protocol-speaking tools
+	// (curl, sapphire-loadgen) can drive the server without the JSON
+	// wrapper. The federation spans remote members, so /epoch answers
+	// 404 (code "unsupported") — the fedEndpoint is not Epoched.
+	mux := endpoint.NewMux(fedEndpoint{client})
+	mux.Handle("/", webapi.Handler(client))
+	srv := &http.Server{Addr: *addr, Handler: mux}
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 	go func() {

@@ -30,6 +30,11 @@ var (
 	// ErrRejected means the endpoint refused the query up front because
 	// its estimated cost exceeded the admission threshold.
 	ErrRejected = errors.New("endpoint: query rejected (estimated cost too high)")
+	// ErrParse means the query text did not parse. Over HTTP it travels
+	// as the "parse" envelope code / status 400, and Client maps it
+	// back, so callers distinguish "my query is broken" (not worth
+	// retrying or relaxing) from resource failures.
+	ErrParse = errors.New("endpoint: query parse error")
 )
 
 // Endpoint is a SPARQL query service.
@@ -234,7 +239,7 @@ func (l *Local) Query(ctx context.Context, query string) (*sparql.Results, error
 
 	q, err := sparql.Parse(query)
 	if err != nil {
-		return nil, fmt.Errorf("endpoint %s: %w", l.name, err)
+		return nil, fmt.Errorf("endpoint %s: %w: %v", l.name, ErrParse, err)
 	}
 	if err := l.simulateLatency(ctx); err != nil {
 		return nil, err

@@ -10,6 +10,7 @@ import (
 	"net/url"
 	"strconv"
 	"strings"
+	"sync/atomic"
 
 	"sapphire/internal/rdf"
 	"sapphire/internal/sparql"
@@ -79,22 +80,35 @@ func fromJSONTerm(jt jsonTerm) (rdf.Term, error) {
 }
 
 // EpochHeader carries the endpoint's mutation epoch on every query
-// response from an Epoched endpoint, and GET ?epoch probes it without
-// running a query. Federated callers use the epoch to invalidate their
-// caches only when a member's data actually changed.
+// response from an Epoched endpoint; the /epoch route (and the legacy
+// GET ?epoch probe) reads it without running a query. Federated callers
+// use the epoch to invalidate their caches only when a member's data
+// actually changed.
 const EpochHeader = "X-Sapphire-Epoch"
 
-// Handler exposes an Endpoint over HTTP at the conventional /sparql
-// path semantics: GET with ?query= or POST with form/raw body. Errors
-// map to HTTP statuses: parse errors 400, timeouts 503, rejections 429.
+// MaxQueryBytes bounds the request body Handler accepts for a query.
+// Bodies over the limit are refused with 413 / code "too_large" — never
+// silently truncated into a different (possibly valid!) query.
+const MaxQueryBytes = 1 << 20
+
+// Handler exposes an Endpoint over HTTP with the SPARQL-protocol query
+// semantics of the /sparql route: GET with ?query=, POST with an
+// application/x-www-form-urlencoded form, POST with a raw
+// application/sparql-query body (other content types are read as raw
+// query text too, for compatibility). Bodies over MaxQueryBytes are
+// refused with 413.
+//
+// Errors map to HTTP statuses — parse 400, timeout 503, rejection 429 —
+// and requests that accept JSON get the structured error envelope (see
+// the code set in errors.go) instead of a plain-text body.
 //
 // Two extensions carry the mutation epoch of Epoched endpoints across
 // the wire: every query response bears the EpochHeader (the epoch read
 // before evaluation, so a cached downstream entry keyed by it can never
 // claim data newer than it serves), and `GET ?epoch` with no query
-// returns the current epoch as a decimal body — the cheap probe
-// federation invalidation runs. Non-Epoched endpoints answer the probe
-// with 404.
+// returns the current epoch as a decimal body — the legacy form of the
+// probe that NewMux's /epoch route serves; both stay answered.
+// Non-Epoched endpoints answer the probe with 404.
 func Handler(ep Endpoint) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		var query string
@@ -102,42 +116,43 @@ func Handler(ep Endpoint) http.Handler {
 		case http.MethodGet:
 			query = r.URL.Query().Get("query")
 			if query == "" && r.URL.Query().Has("epoch") {
-				if e, ok := epochOf(r.Context(), ep); ok {
-					w.Header().Set("Content-Type", "text/plain")
-					fmt.Fprintf(w, "%d", e)
-					return
-				}
-				http.Error(w, "endpoint does not report epochs", http.StatusNotFound)
+				serveEpoch(w, r, ep)
 				return
 			}
 		case http.MethodPost:
+			// MaxBytesReader rather than a silent LimitReader: a query
+			// cut at a byte boundary can still parse — as a different
+			// query. Over-limit bodies must fail loudly.
+			r.Body = http.MaxBytesReader(w, r.Body, MaxQueryBytes)
 			ct := r.Header.Get("Content-Type")
 			if strings.HasPrefix(ct, "application/x-www-form-urlencoded") {
 				if err := r.ParseForm(); err != nil {
-					http.Error(w, err.Error(), http.StatusBadRequest)
+					writeError(w, r, bodyErrCode(err), err.Error())
 					return
 				}
 				query = r.PostForm.Get("query")
 			} else {
-				body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+				// application/sparql-query is the SPARQL-protocol direct
+				// POST; unknown content types read the same way.
+				body, err := io.ReadAll(r.Body)
 				if err != nil {
-					http.Error(w, err.Error(), http.StatusBadRequest)
+					writeError(w, r, bodyErrCode(err), err.Error())
 					return
 				}
 				query = string(body)
 			}
 		default:
-			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			writeError(w, r, CodeMethod, "method not allowed; GET ?query= or POST a query")
 			return
 		}
 		if strings.TrimSpace(query) == "" {
-			http.Error(w, "missing query", http.StatusBadRequest)
+			writeError(w, r, CodeParse, "missing query")
 			return
 		}
 		// The per-query header probe is skipped for endpoints whose
 		// Epoch is itself a network round trip (a Handler proxying a
 		// Client would otherwise double upstream traffic); the explicit
-		// GET ?epoch probe above still forwards for them.
+		// /epoch and GET ?epoch probes still forward for them.
 		var epoch uint64
 		epochKnown := false
 		if _, remote := ep.(remoteEpoched); !remote {
@@ -145,14 +160,7 @@ func Handler(ep Endpoint) http.Handler {
 		}
 		res, err := ep.Query(r.Context(), query)
 		if err != nil {
-			switch {
-			case errors.Is(err, ErrTimeout):
-				http.Error(w, err.Error(), http.StatusServiceUnavailable)
-			case errors.Is(err, ErrRejected):
-				http.Error(w, err.Error(), http.StatusTooManyRequests)
-			default:
-				http.Error(w, err.Error(), http.StatusBadRequest)
-			}
+			writeError(w, r, codeForError(err), err.Error())
 			return
 		}
 		w.Header().Set("Content-Type", "application/sparql-results+json")
@@ -161,6 +169,28 @@ func Handler(ep Endpoint) http.Handler {
 		}
 		_ = json.NewEncoder(w).Encode(toJSONResults(res))
 	})
+}
+
+// bodyErrCode classifies a request-body read/parse failure: over-limit
+// bodies are too_large, everything else is a parse-level caller error.
+func bodyErrCode(err error) string {
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		return CodeTooLarge
+	}
+	return CodeParse
+}
+
+// serveEpoch answers an epoch probe (the /epoch route and the legacy
+// GET ?epoch form): the decimal epoch as text/plain, or 404 when the
+// endpoint does not report epochs.
+func serveEpoch(w http.ResponseWriter, r *http.Request, ep Endpoint) {
+	if e, ok := epochOf(r.Context(), ep); ok {
+		w.Header().Set("Content-Type", "text/plain")
+		fmt.Fprintf(w, "%d", e)
+		return
+	}
+	writeError(w, r, CodeUnsupported, "endpoint does not report epochs")
 }
 
 // epochOf reads an endpoint's epoch when it reports one.
@@ -180,49 +210,119 @@ func (c *Client) epochViaNetwork() {}
 // Client is an Endpoint talking to a remote SPARQL HTTP endpoint.
 // Queries are retried per the client's RetryPolicy — see NewClient.
 type Client struct {
-	url     string
-	client  *http.Client
-	retrier *retrier
+	url       string
+	client    *http.Client
+	retrier   *retrier
+	userAgent string
+	// epochMode remembers which epoch probe form the server answered
+	// last (see Client.Epoch): 0 unknown, 1 the routed /epoch sibling,
+	// 2 the legacy GET ?epoch query parameter.
+	epochMode atomic.Int32
 }
 
-// NewClient returns a client for the endpoint at rawURL with the
-// default RetryPolicy: transient failures (connection errors, 5xx)
-// retry a bounded number of times with jittered exponential backoff,
-// each attempt under its own timeout.
-func NewClient(rawURL string) *Client {
-	return NewClientWithPolicy(rawURL, RetryPolicy{})
+const (
+	epochModeUnknown = iota
+	epochModeRouted
+	epochModeLegacy
+)
+
+// NewClient returns a client for the endpoint at rawURL, configured by
+// functional options. With no options it uses the default RetryPolicy:
+// transient failures (connection errors, 5xx) retry a bounded number of
+// times with jittered exponential backoff, each attempt under its own
+// timeout.
+//
+//	c := endpoint.NewClient(url,
+//	        endpoint.WithRetryPolicy(endpoint.RetryPolicy{MaxAttempts: 2}),
+//	        endpoint.WithUserAgent("sapphire-loadgen/1"))
+func NewClient(rawURL string, opts ...Option) *Client {
+	// No whole-query http.Client timeout: the per-attempt context bounds
+	// each try, and the caller's context bounds the whole exchange.
+	c := &Client{url: rawURL, client: &http.Client{}, retrier: newRetrier(RetryPolicy{})}
+	for _, opt := range opts {
+		opt(c)
+	}
+	return c
 }
 
 // NewClientWithPolicy returns a client with an explicit RetryPolicy.
-// Zero fields select defaults; MaxAttempts 1 disables retries.
+//
+// Deprecated: use NewClient(rawURL, WithRetryPolicy(p)).
 func NewClientWithPolicy(rawURL string, p RetryPolicy) *Client {
-	// No whole-query http.Client timeout: the per-attempt context bounds
-	// each try, and the caller's context bounds the whole exchange.
-	return &Client{url: rawURL, client: &http.Client{}, retrier: newRetrier(p)}
+	return NewClient(rawURL, WithRetryPolicy(p))
 }
 
 // Name implements Endpoint.
 func (c *Client) Name() string { return c.url }
 
-// Epoch implements Epoched by probing the server with `GET ?epoch`
-// (see Handler). ok is false when the server is unreachable, predates
-// the epoch protocol, or wraps a non-Epoched endpoint — callers then
-// fall back to manual cache invalidation.
+// Epoch implements Epoched by probing the server: first the routed
+// /epoch sibling of the query URL (see NewMux), then the legacy
+// `GET ?epoch` query-parameter form that plain Handler servers answer.
+// Whichever form succeeds is remembered and tried first on subsequent
+// probes, so steady-state traffic pays one request per probe against
+// both new and old servers. ok is false when the server is unreachable,
+// predates the epoch protocol entirely, or wraps a non-Epoched endpoint
+// — callers then fall back to manual cache invalidation.
 func (c *Client) Epoch(ctx context.Context) (uint64, bool) {
-	u := c.url
-	if strings.Contains(u, "?") {
-		u += "&epoch"
-	} else {
-		u += "?epoch"
+	probes := [2]struct {
+		mode int32
+		url  string
+	}{
+		{epochModeRouted, c.routedEpochURL()},
+		{epochModeLegacy, c.legacyEpochURL()},
 	}
-	// One attempt under the per-attempt timeout: the probe's failure mode
-	// (ok=false) already has a graceful fallback, so it never retries.
+	if c.epochMode.Load() == epochModeLegacy {
+		probes[0], probes[1] = probes[1], probes[0]
+	}
+	for _, p := range probes {
+		if e, ok := c.probeEpochURL(ctx, p.url); ok {
+			c.epochMode.Store(p.mode)
+			return e, true
+		}
+	}
+	return 0, false
+}
+
+// routedEpochURL derives the /epoch sibling of the query URL: the last
+// path segment (conventionally "sparql") is replaced by "epoch", so
+// http://host:8890/sparql probes http://host:8890/epoch.
+func (c *Client) routedEpochURL() string {
+	u, err := url.Parse(c.url)
+	if err != nil {
+		return ""
+	}
+	path := u.Path
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		path = path[:i]
+	}
+	u.Path = path + "/epoch"
+	u.RawQuery = ""
+	return u.String()
+}
+
+// legacyEpochURL is the pre-mux probe form: the query URL itself with
+// an `epoch` query parameter.
+func (c *Client) legacyEpochURL() string {
+	if strings.Contains(c.url, "?") {
+		return c.url + "&epoch"
+	}
+	return c.url + "?epoch"
+}
+
+// probeEpochURL runs one epoch probe under the per-attempt timeout. The
+// probe's failure mode (ok=false) already has a graceful fallback, so
+// it never retries.
+func (c *Client) probeEpochURL(ctx context.Context, u string) (uint64, bool) {
+	if u == "" {
+		return 0, false
+	}
 	ctx, cancel := context.WithTimeout(ctx, c.retrier.policy.perAttempt())
 	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
 	if err != nil {
 		return 0, false
 	}
+	c.setCommonHeaders(req)
 	resp, err := c.client.Do(req)
 	if err != nil {
 		return 0, false
@@ -242,18 +342,27 @@ func (c *Client) Epoch(ctx context.Context) (uint64, bool) {
 	return e, true
 }
 
+func (c *Client) setCommonHeaders(req *http.Request) {
+	if c.userAgent != "" {
+		req.Header.Set("User-Agent", c.userAgent)
+	}
+}
+
 // Query implements Endpoint by POSTing the query as a form and decoding
-// the SPARQL JSON results. HTTP 503 maps back to ErrTimeout and 429 to
-// ErrRejected so callers can react uniformly to local and remote
-// endpoints.
+// the SPARQL JSON results. Server failures map back to typed errors —
+// via the structured JSON error envelope when the server emits one
+// (errors.go), by HTTP status otherwise — so callers can react
+// uniformly to local and remote endpoints: errors.Is(err, ErrTimeout),
+// ErrRejected, and ErrParse all work across the wire, and errors.As
+// surfaces the *APIError with the exact wire code.
 //
-// Transient failures — connection errors and 5xx statuses, including
-// the 503 a Handler emits for an evaluation timeout — are retried per
-// the client's RetryPolicy with jittered exponential backoff, each
-// attempt under its own timeout. 429/ErrRejected and other 4xx fail
-// immediately: the server rejected the query itself, and re-sending it
-// unchanged cannot succeed. A done parent context stops the loop
-// mid-backoff or mid-attempt.
+// Transient failures — connection errors, 5xx statuses, and the
+// "timeout" envelope code — are retried per the client's RetryPolicy
+// with jittered exponential backoff, each attempt under its own
+// timeout. 429/"rejected" and other 4xx fail immediately: the server
+// rejected the query itself, and re-sending it unchanged cannot
+// succeed. A done parent context stops the loop mid-backoff or
+// mid-attempt.
 func (c *Client) Query(ctx context.Context, query string) (*sparql.Results, error) {
 	attempts := c.retrier.policy.attempts()
 	var lastErr error
@@ -276,9 +385,9 @@ func (c *Client) Query(ctx context.Context, query string) (*sparql.Results, erro
 }
 
 // queryOnce runs one attempt under the per-attempt timeout. retryable
-// classifies the failure: true for transport errors and 5xx (transient,
-// worth another attempt), false for everything the server decided about
-// the query itself.
+// classifies the failure: true for transport errors, 5xx, and timeout
+// envelopes (transient, worth another attempt), false for everything
+// the server decided about the query itself.
 func (c *Client) queryOnce(ctx context.Context, query string) (_ *sparql.Results, retryable bool, _ error) {
 	actx, cancel := context.WithTimeout(ctx, c.retrier.policy.perAttempt())
 	defer cancel()
@@ -288,7 +397,10 @@ func (c *Client) queryOnce(ctx context.Context, query string) (_ *sparql.Results
 		return nil, false, err
 	}
 	req.Header.Set("Content-Type", "application/x-www-form-urlencoded")
-	req.Header.Set("Accept", "application/sparql-results+json")
+	// Asking for sparql-results+json doubles as the JSON error envelope
+	// opt-in (see acceptsJSON).
+	req.Header.Set("Accept", "application/sparql-results+json, application/json")
+	c.setCommonHeaders(req)
 	resp, err := c.client.Do(req)
 	if err != nil {
 		// Transport-level failure (or per-attempt timeout): retryable
@@ -298,6 +410,23 @@ func (c *Client) queryOnce(ctx context.Context, query string) (_ *sparql.Results
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		// Structured servers put the failure's meaning in the envelope;
+		// decode it into the typed error instead of string-matching.
+		if ae := decodeEnvelope(resp.Header.Get("Content-Type"), msg); ae != nil {
+			err := fmt.Errorf("endpoint %s: %w", c.url, ae)
+			switch ae.Code {
+			case CodeTimeout:
+				return nil, true, err
+			case CodeInternal:
+				return nil, resp.StatusCode >= 500, err
+			default:
+				// parse, rejected, too_large, method, unsupported: the
+				// server judged the request itself; a verbatim retry
+				// cannot succeed.
+				return nil, false, err
+			}
+		}
+		// Legacy plain-text servers: classify by status.
 		switch {
 		case resp.StatusCode == http.StatusServiceUnavailable:
 			return nil, true, fmt.Errorf("%s: %w", strings.TrimSpace(string(msg)), ErrTimeout)

@@ -1,0 +1,21 @@
+// Package scenario is the deterministic serving-load harness: versioned
+// declarative traffic scenarios replayed against a live Sapphire
+// serving surface, with per-phase latency percentiles and throughput
+// recorded in the benchgate JSON format so the latency SLO can be gated
+// in CI like any other benchmark.
+//
+// A Spec is a seeded list of phases, each exercising one serving
+// behavior the paper's workload depends on: zipf-skewed hot-query
+// repeats (the epoch-keyed result cache and its raw pre-key), paginated
+// ORDER BY walks (the top-k path), QALD-style question queries, mixed
+// read/write traffic with a bulk reload mid-phase (epoch churn under
+// load), and a federation phase with one flapping member (the client's
+// retry/backoff against injected timeouts). Everything derives from the
+// spec's seed: the same spec and seed produce the identical op
+// sequence, byte for byte, so a latency regression can be replayed.
+//
+// Run drives a Target — either servers started by NewWorld in-process,
+// or any HTTP base URL with the NewMux routes — and Report holds the
+// per-phase results; WriteBenchJSON emits them for sapphire-benchgate's
+// SLO mode.
+package scenario

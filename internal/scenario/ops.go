@@ -1,0 +1,222 @@
+package scenario
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"strconv"
+	"strings"
+
+	"sapphire/internal/qald"
+	"sapphire/internal/rdf"
+)
+
+// OpKind says where an op is sent.
+type OpKind int
+
+const (
+	// OpQuery is a SPARQL query against the primary endpoint.
+	OpQuery OpKind = iota
+	// OpWrite POSTs a small batch of fresh N-Triples to /add.
+	OpWrite
+	// OpReload POSTs a bulk batch to /add — the mid-phase reload that
+	// churns the epoch under live traffic.
+	OpReload
+	// OpFedQuery is a SPARQL query through the federation.
+	OpFedQuery
+)
+
+func (k OpKind) String() string {
+	switch k {
+	case OpQuery:
+		return "query"
+	case OpWrite:
+		return "write"
+	case OpReload:
+		return "reload"
+	case OpFedQuery:
+		return "fed"
+	}
+	return fmt.Sprintf("OpKind(%d)", int(k))
+}
+
+// Op is one generated request. The full sequence for a phase is a pure
+// function of the spec, so two runs of the same scenario produce
+// byte-identical op logs.
+type Op struct {
+	Phase string
+	Seq   int
+	Kind  OpKind
+	Query string // OpQuery, OpFedQuery
+	Body  string // OpWrite, OpReload: N-Triples
+}
+
+// LogLine renders the op as one line for the replayable op log: phase,
+// sequence number, kind, and the verbatim payload (quoted, so bodies
+// with newlines stay one record per line).
+func (op Op) LogLine() string {
+	payload := op.Query
+	if op.Kind == OpWrite || op.Kind == OpReload {
+		payload = op.Body
+	}
+	return fmt.Sprintf("%s\t%d\t%s\t%s", op.Phase, op.Seq, op.Kind, strconv.Quote(payload))
+}
+
+// fnv64 folds a string into the phase's rng seed so each phase draws an
+// independent deterministic stream.
+func fnv64(s string) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return int64(h.Sum64())
+}
+
+// phaseRNG is the one source of randomness for a phase's op stream.
+func phaseRNG(spec *Spec, p Phase) *rand.Rand {
+	return rand.New(rand.NewSource(spec.Seed ^ fnv64(p.Name) ^ fnv64(p.Kind)))
+}
+
+// queryClasses are the dataset classes traffic rotates over; all have
+// instances at both datagen scales.
+var queryClasses = []string{
+	"Person", "City", "Book", "Film", "Company",
+	"Writer", "Scientist", "Actor", "Musician", "Politician",
+}
+
+func classIRI(c string) string { return "<" + rdf.NSDBO + c + ">" }
+
+var nameIRI = "<" + rdf.NSDBO + "name" + ">"
+
+// hotPool builds the phase's candidate query pool: class × template.
+// The zipf draw over this pool is what makes the phase exercise the
+// epoch-keyed result cache — the head queries repeat verbatim, so after
+// the first miss they must be raw-key cache hits.
+func hotPool(n int) []string {
+	templates := []func(class string) string{
+		func(c string) string {
+			return fmt.Sprintf("SELECT ?n WHERE { ?s a %s . ?s %s ?n . } LIMIT 25", classIRI(c), nameIRI)
+		},
+		func(c string) string {
+			return fmt.Sprintf("SELECT ?s WHERE { ?s a %s . } LIMIT 50", classIRI(c))
+		},
+	}
+	pool := make([]string, 0, n)
+	for i := 0; len(pool) < n; i++ {
+		pool = append(pool, templates[i%len(templates)](queryClasses[(i/len(templates))%len(queryClasses)]))
+	}
+	return pool
+}
+
+// GenOps generates the complete, deterministic op sequence for one
+// phase. It never touches the network: generation is separated from
+// execution so the op log can be written (and compared) independently
+// of timing and concurrency.
+func GenOps(spec *Spec, p Phase) []Op {
+	rng := phaseRNG(spec, p)
+	ops := make([]Op, 0, p.Ops)
+	emit := func(kind OpKind, query, body string) {
+		ops = append(ops, Op{Phase: p.Name, Seq: len(ops), Kind: kind, Query: query, Body: body})
+	}
+
+	switch p.Kind {
+	case KindHot:
+		poolSize := p.HotPool
+		if poolSize <= 0 {
+			poolSize = 20
+		}
+		s := p.ZipfS
+		if s <= 1 {
+			s = 1.2
+		}
+		pool := hotPool(poolSize)
+		zipf := rand.NewZipf(rng, s, 1, uint64(poolSize-1))
+		for i := 0; i < p.Ops; i++ {
+			emit(OpQuery, pool[zipf.Uint64()], "")
+		}
+
+	case KindOrderBy:
+		pageSize := p.PageSize
+		if pageSize <= 0 {
+			pageSize = 10
+		}
+		// Each walk pages one class's names in order; after pagesPerWalk
+		// pages the walk moves to the next class. This is the paper's
+		// pagination pattern: the same ORDER BY query at marching
+		// OFFSETs, which the evaluator serves from its top-k path.
+		const pagesPerWalk = 8
+		for i := 0; i < p.Ops; i++ {
+			walk, page := i/pagesPerWalk, i%pagesPerWalk
+			class := queryClasses[walk%len(queryClasses)]
+			emit(OpQuery, fmt.Sprintf(
+				"SELECT ?n WHERE { ?s a %s . ?s %s ?n . } ORDER BY ?n LIMIT %d OFFSET %d",
+				classIRI(class), nameIRI, pageSize, page*pageSize), "")
+		}
+
+	case KindQALD:
+		qs := qald.Questions()
+		// A deterministic shuffle, then round-robin: every question
+		// appears before any repeats, but the order varies by seed.
+		order := rng.Perm(len(qs))
+		for i := 0; i < p.Ops; i++ {
+			emit(OpQuery, qs[order[i%len(order)]].Gold, "")
+		}
+
+	case KindMixed:
+		writeEvery := p.WriteEvery
+		if writeEvery <= 0 {
+			writeEvery = 10
+		}
+		writeBatch := p.WriteBatch
+		if writeBatch <= 0 {
+			writeBatch = 5
+		}
+		reloadAt := p.ReloadAt
+		if reloadAt <= 0 {
+			reloadAt = p.Ops / 2
+		}
+		reloadSize := p.ReloadSize
+		if reloadSize <= 0 {
+			reloadSize = 200
+		}
+		pool := hotPool(20)
+		batch := 0
+		for i := 0; i < p.Ops; i++ {
+			switch {
+			case i == reloadAt:
+				emit(OpReload, "", loadgenTriples(p.Name, "reload", batch, reloadSize))
+				batch++
+			case i%writeEvery == writeEvery-1:
+				emit(OpWrite, "", loadgenTriples(p.Name, "write", batch, writeBatch))
+				batch++
+			default:
+				emit(OpQuery, pool[rng.Intn(len(pool))], "")
+			}
+		}
+
+	case KindFederation:
+		// Single-pattern queries the federation ships to its members —
+		// cheap enough that the flapping member's injected timeouts,
+		// not evaluation cost, dominate the phase's tail latency.
+		for i := 0; i < p.Ops; i++ {
+			class := queryClasses[rng.Intn(len(queryClasses))]
+			emit(OpFedQuery, fmt.Sprintf("SELECT ?s WHERE { ?s a %s . } LIMIT 10", classIRI(class)), "")
+		}
+	}
+	return ops
+}
+
+// loadgenTriples builds a batch of fresh, unique N-Triples facts. The
+// subjects embed the phase and batch number, so the batch content is a
+// pure function of the spec — identical across runs — while distinct
+// batches within a run never collide.
+func loadgenTriples(phase, kind string, batch, n int) string {
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		t := rdf.NewTriple(
+			rdf.NewIRI(fmt.Sprintf("%sLoadgenFact_%s_%s_%d_%d", rdf.NSDBR, phase, kind, batch, i)),
+			rdf.NewIRI(rdf.NSDBO+"name"),
+			rdf.NewLangLiteral(fmt.Sprintf("loadgen %s fact %d/%d", kind, batch, i), "en"))
+		b.WriteString(t.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,193 @@
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// PhaseResult is the measured outcome of one phase.
+type PhaseResult struct {
+	Name        string         `json:"name"`
+	Kind        string         `json:"kind"`
+	Ops         int            `json:"ops"`
+	Clients     int            `json:"clients"`
+	WallSeconds float64        `json:"wall_seconds"`
+	Throughput  float64        `json:"throughput_ops_per_sec"`
+	P50Ns       int64          `json:"p50_ns"`
+	P90Ns       int64          `json:"p90_ns"`
+	P99Ns       int64          `json:"p99_ns"`
+	P999Ns      int64          `json:"p999_ns"`
+	MaxNs       int64          `json:"max_ns"`
+	Outcomes    map[string]int `json:"outcomes"` // ok | timeout | rejected | parse | error
+}
+
+// Report is the full scenario outcome.
+type Report struct {
+	Scenario string        `json:"scenario"`
+	Seed     int64         `json:"seed"`
+	Dataset  string        `json:"dataset"`
+	Phases   []PhaseResult `json:"phases"`
+}
+
+// percentile returns the nearest-rank percentile (q in (0,1]) of sorted
+// latencies; sorted must be non-empty and ascending.
+func percentile(sorted []int64, q float64) int64 {
+	rank := int(q*float64(len(sorted)) + 0.5)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}
+
+// newPhaseResult computes the percentile summary from raw per-op
+// latencies (any order; it sorts a copy).
+func newPhaseResult(p Phase, clients int, wallSeconds float64, latencies []int64, outcomes map[string]int) PhaseResult {
+	sorted := append([]int64(nil), latencies...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	res := PhaseResult{
+		Name: p.Name, Kind: p.Kind, Ops: len(sorted), Clients: clients,
+		WallSeconds: wallSeconds, Outcomes: outcomes,
+	}
+	if wallSeconds > 0 {
+		res.Throughput = float64(len(sorted)) / wallSeconds
+	}
+	if len(sorted) > 0 {
+		res.P50Ns = percentile(sorted, 0.50)
+		res.P90Ns = percentile(sorted, 0.90)
+		res.P99Ns = percentile(sorted, 0.99)
+		res.P999Ns = percentile(sorted, 0.999)
+		res.MaxNs = sorted[len(sorted)-1]
+	}
+	return res
+}
+
+// MergeBest folds repeated runs of the same scenario into one report,
+// keeping per phase the minimum of each latency percentile and the
+// maximum throughput — the least-noisy statistic for a regression gate,
+// mirroring benchgate's best-of-N ns/op parse. All reports must have
+// the same phase list (they come from the same spec).
+func MergeBest(reports ...*Report) *Report {
+	if len(reports) == 0 {
+		return nil
+	}
+	out := *reports[0]
+	out.Phases = append([]PhaseResult(nil), reports[0].Phases...)
+	minNZ := func(a, b int64) int64 {
+		if b > 0 && (a == 0 || b < a) {
+			return b
+		}
+		return a
+	}
+	for _, r := range reports[1:] {
+		for i := range out.Phases {
+			p := &out.Phases[i]
+			q := r.Phases[i]
+			p.P50Ns = minNZ(p.P50Ns, q.P50Ns)
+			p.P90Ns = minNZ(p.P90Ns, q.P90Ns)
+			p.P99Ns = minNZ(p.P99Ns, q.P99Ns)
+			p.P999Ns = minNZ(p.P999Ns, q.P999Ns)
+			p.MaxNs = minNZ(p.MaxNs, q.MaxNs)
+			if q.Throughput > p.Throughput {
+				p.Throughput = q.Throughput
+				p.WallSeconds = q.WallSeconds
+			}
+		}
+	}
+	return &out
+}
+
+// benchResult mirrors sapphire-benchgate's per-benchmark entry.
+type benchResult struct {
+	NsPerOp float64 `json:"ns_per_op"`
+	Runs    int     `json:"runs"`
+}
+
+// benchFile mirrors sapphire-benchgate's file format.
+type benchFile struct {
+	Note       string                 `json:"note,omitempty"`
+	Benchmarks map[string]benchResult `json:"benchmarks"`
+}
+
+// BenchRows flattens the report into benchgate rows. Latency rows
+// (`Serving/<phase>/p50|p99|p999`) carry nanoseconds — higher is worse,
+// benchgate's normal direction. Throughput rows
+// (`Serving/<phase>/throughput`) carry ops/sec — higher is BETTER;
+// benchgate's -slo mode inverts the comparison for rows with this
+// suffix.
+func (r *Report) BenchRows() map[string]benchResult {
+	rows := make(map[string]benchResult, len(r.Phases)*4)
+	for _, p := range r.Phases {
+		prefix := "Serving/" + p.Name + "/"
+		rows[prefix+"p50"] = benchResult{NsPerOp: float64(p.P50Ns), Runs: p.Ops}
+		rows[prefix+"p99"] = benchResult{NsPerOp: float64(p.P99Ns), Runs: p.Ops}
+		rows[prefix+"p999"] = benchResult{NsPerOp: float64(p.P999Ns), Runs: p.Ops}
+		rows[prefix+"throughput"] = benchResult{NsPerOp: p.Throughput, Runs: p.Ops}
+	}
+	return rows
+}
+
+// WriteBenchJSON writes the report in the benchgate file format, plus
+// the full per-phase detail under the note for humans reading the
+// artifact.
+func (r *Report) WriteBenchJSON(path string) error {
+	f := benchFile{
+		Note:       fmt.Sprintf("scenario %s seed %d dataset %s", r.Scenario, r.Seed, r.Dataset),
+		Benchmarks: r.BenchRows(),
+	}
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Summary renders a human-readable per-phase table.
+func (r *Report) Summary() string {
+	out := fmt.Sprintf("scenario %s (seed %d, dataset %s)\n", r.Scenario, r.Seed, r.Dataset)
+	out += fmt.Sprintf("%-18s %6s %8s %10s %10s %10s %10s  %s\n",
+		"phase", "ops", "ops/s", "p50", "p99", "p99.9", "max", "outcomes")
+	for _, p := range r.Phases {
+		out += fmt.Sprintf("%-18s %6d %8.1f %10s %10s %10s %10s  %s\n",
+			p.Name, p.Ops, p.Throughput,
+			fmtNs(p.P50Ns), fmtNs(p.P99Ns), fmtNs(p.P999Ns), fmtNs(p.MaxNs),
+			fmtOutcomes(p.Outcomes))
+	}
+	return out
+}
+
+func fmtNs(ns int64) string {
+	switch {
+	case ns >= 1e9:
+		return fmt.Sprintf("%.2fs", float64(ns)/1e9)
+	case ns >= 1e6:
+		return fmt.Sprintf("%.1fms", float64(ns)/1e6)
+	case ns >= 1e3:
+		return fmt.Sprintf("%.0fµs", float64(ns)/1e3)
+	}
+	return fmt.Sprintf("%dns", ns)
+}
+
+func fmtOutcomes(m map[string]int) string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		parts = append(parts, fmt.Sprintf("%s=%d", k, m[k]))
+	}
+	if len(parts) == 0 {
+		return "-"
+	}
+	out := parts[0]
+	for _, p := range parts[1:] {
+		out += " " + p
+	}
+	return out
+}

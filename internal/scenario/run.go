@@ -1,0 +1,171 @@
+package scenario
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sapphire/internal/endpoint"
+	"sapphire/internal/sparql"
+)
+
+// Queryer is the federation-shaped query surface (federation.Federation
+// implements it; so does any Endpoint via a trivial adapter).
+type Queryer interface {
+	Query(ctx context.Context, query string) (*sparql.Results, error)
+}
+
+// Target is the serving surface a scenario runs against.
+type Target struct {
+	// Query answers OpQuery ops — an endpoint.Client against a live
+	// /sparql route (or any Endpoint, for in-process runs).
+	Query endpoint.Endpoint
+	// AddURL receives OpWrite and OpReload bodies via POST; empty
+	// disables write phases (Run fails if the spec needs them).
+	AddURL string
+	// HTTP is the client for AddURL posts; nil uses a default.
+	HTTP *http.Client
+	// Federation answers OpFedQuery ops; nil disables federation
+	// phases.
+	Federation Queryer
+}
+
+// RunOptions tune a Run without changing the traffic.
+type RunOptions struct {
+	// OpLog, when set, receives the phase's op sequence as LogLine rows
+	// before the phase executes. The log is a pure function of the spec
+	// — byte-identical across runs — which is what the determinism test
+	// pins.
+	OpLog io.Writer
+}
+
+// Run replays the scenario against the target and measures per-phase
+// latency percentiles and throughput. The op sequence is pre-generated
+// per phase (see GenOps) and recorded slot-indexed by sequence number,
+// so worker concurrency affects timing but never which ops run or how
+// the log reads.
+func Run(ctx context.Context, spec *Spec, target Target, opts RunOptions) (*Report, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	for _, p := range spec.Phases {
+		if p.Kind == KindMixed && target.AddURL == "" {
+			return nil, fmt.Errorf("scenario %s: phase %q writes but target has no AddURL", spec.Name, p.Name)
+		}
+		if p.Kind == KindFederation && target.Federation == nil {
+			return nil, fmt.Errorf("scenario %s: phase %q needs a federation target", spec.Name, p.Name)
+		}
+	}
+	if target.HTTP == nil {
+		target.HTTP = &http.Client{Timeout: 30 * time.Second}
+	}
+
+	report := &Report{Scenario: spec.Name, Seed: spec.Seed, Dataset: spec.Dataset}
+	for _, p := range spec.Phases {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		ops := GenOps(spec, p)
+		if opts.OpLog != nil {
+			var buf bytes.Buffer
+			for _, op := range ops {
+				buf.WriteString(op.LogLine())
+				buf.WriteByte('\n')
+			}
+			if _, err := opts.OpLog.Write(buf.Bytes()); err != nil {
+				return nil, err
+			}
+		}
+
+		clients := spec.clients(p)
+		latencies := make([]int64, len(ops))
+		outcomes := make([]string, len(ops))
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		start := time.Now()
+		for w := 0; w < clients; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(ops) || ctx.Err() != nil {
+						return
+					}
+					opStart := time.Now()
+					err := execOp(ctx, target, ops[i])
+					latencies[i] = time.Since(opStart).Nanoseconds()
+					outcomes[i] = classify(err)
+				}
+			}()
+		}
+		wg.Wait()
+		wall := time.Since(start).Seconds()
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+
+		counts := map[string]int{}
+		for _, o := range outcomes {
+			counts[o]++
+		}
+		report.Phases = append(report.Phases, newPhaseResult(p, clients, wall, latencies, counts))
+	}
+	return report, nil
+}
+
+// execOp sends one op to its destination.
+func execOp(ctx context.Context, target Target, op Op) error {
+	switch op.Kind {
+	case OpQuery:
+		_, err := target.Query.Query(ctx, op.Query)
+		return err
+	case OpFedQuery:
+		_, err := target.Federation.Query(ctx, op.Query)
+		return err
+	case OpWrite, OpReload:
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, target.AddURL,
+			bytes.NewReader([]byte(op.Body)))
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Content-Type", "application/n-triples")
+		resp, err := target.HTTP.Do(req)
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+			return fmt.Errorf("POST %s: HTTP %d: %s", target.AddURL, resp.StatusCode, msg)
+		}
+		io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	return fmt.Errorf("unknown op kind %v", op.Kind)
+}
+
+// classify folds an op error into the outcome buckets the report
+// counts. The typed sentinels survive the HTTP hop (the structured
+// error envelope, endpoint/errors.go), so a remote timeout counts as a
+// timeout, not a generic error.
+func classify(err error) string {
+	switch {
+	case err == nil:
+		return "ok"
+	case errors.Is(err, endpoint.ErrTimeout):
+		return "timeout"
+	case errors.Is(err, endpoint.ErrRejected):
+		return "rejected"
+	case errors.Is(err, endpoint.ErrParse):
+		return "parse"
+	default:
+		return "error"
+	}
+}

@@ -1,0 +1,303 @@
+package scenario
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestSpecValidate(t *testing.T) {
+	base := func() *Spec {
+		return &Spec{Name: "x", Version: SpecVersion, Seed: 1, Dataset: "small", Clients: 2,
+			Phases: []Phase{{Name: "p", Kind: KindHot, Ops: 5}}}
+	}
+	if err := base().Validate(); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Spec)
+	}{
+		{"no-name", func(s *Spec) { s.Name = "" }},
+		{"bad-version", func(s *Spec) { s.Version = 2 }},
+		{"bad-dataset", func(s *Spec) { s.Dataset = "huge" }},
+		{"no-clients", func(s *Spec) { s.Clients = 0 }},
+		{"no-phases", func(s *Spec) { s.Phases = nil }},
+		{"bad-kind", func(s *Spec) { s.Phases[0].Kind = "warp" }},
+		{"no-ops", func(s *Spec) { s.Phases[0].Ops = 0 }},
+		{"dup-phase", func(s *Spec) { s.Phases = append(s.Phases, s.Phases[0]) }},
+		{"reload-beyond", func(s *Spec) {
+			s.Phases[0] = Phase{Name: "m", Kind: KindMixed, Ops: 10, ReloadAt: 10}
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := base()
+			tc.mutate(s)
+			if err := s.Validate(); err == nil {
+				t.Error("invalid spec accepted")
+			}
+		})
+	}
+}
+
+func TestBuiltins(t *testing.T) {
+	names := Names()
+	if len(names) < 2 {
+		t.Fatalf("builtins = %v", names)
+	}
+	for _, n := range names {
+		s := Builtin(n)
+		if s == nil {
+			t.Fatalf("Builtin(%q) = nil", n)
+		}
+		if err := s.Validate(); err != nil {
+			t.Errorf("builtin %q invalid: %v", n, err)
+		}
+		if len(s.Phases) < 4 {
+			t.Errorf("builtin %q has %d phases, want >= 4 (SLO gate needs them)", n, len(s.Phases))
+		}
+	}
+	if Builtin("no-such") != nil {
+		t.Error("unknown builtin resolved")
+	}
+	// Smoke and full share phase names so one SLO baseline covers both.
+	smoke, serving := Smoke(), Serving()
+	for i := range smoke.Phases {
+		if smoke.Phases[i].Name != serving.Phases[i].Name {
+			t.Errorf("phase %d: smoke %q vs serving %q", i, smoke.Phases[i].Name, serving.Phases[i].Name)
+		}
+	}
+}
+
+func TestParseSpecRoundTrip(t *testing.T) {
+	data, err := json.Marshal(Smoke())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseSpec(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != "smoke" || len(got.Phases) != len(Smoke().Phases) {
+		t.Errorf("round trip lost data: %+v", got)
+	}
+	path := filepath.Join(t.TempDir(), "spec.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err != nil {
+		t.Errorf("Load: %v", err)
+	}
+	if _, err := ParseSpec([]byte(`{"name":"x","version":99}`)); err == nil {
+		t.Error("wrong version accepted")
+	}
+}
+
+// TestGenOpsDeterministic pins the core contract: the op stream is a
+// pure function of the spec. Same spec, same bytes; different seed,
+// different stream.
+func TestGenOpsDeterministic(t *testing.T) {
+	spec := Smoke()
+	for _, p := range spec.Phases {
+		a, b := opLog(spec, p), opLog(spec, p)
+		if a != b {
+			t.Errorf("phase %q: two generations differ", p.Name)
+		}
+		if len(GenOps(spec, p)) != p.Ops {
+			t.Errorf("phase %q: ops = %d, want %d", p.Name, len(GenOps(spec, p)), p.Ops)
+		}
+	}
+	other := Smoke()
+	other.Seed++
+	hot := spec.Phases[0]
+	if opLog(spec, hot) == opLog(other, hot) {
+		t.Error("hot phase stream identical across seeds")
+	}
+}
+
+func opLog(spec *Spec, p Phase) string {
+	var b strings.Builder
+	for _, op := range GenOps(spec, p) {
+		b.WriteString(op.LogLine())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// tinySpec is the five-phase scenario at test scale.
+func tinySpec() *Spec {
+	return &Spec{
+		Name: "tiny", Version: SpecVersion, Seed: 7, Dataset: "small", Clients: 3,
+		Phases: []Phase{
+			{Name: "hot-cache", Kind: KindHot, Ops: 16, HotPool: 6, ZipfS: 1.3},
+			{Name: "orderby-walk", Kind: KindOrderBy, Ops: 8, PageSize: 5},
+			{Name: "qald", Kind: KindQALD, Ops: 6},
+			{Name: "mixed-reload", Kind: KindMixed, Ops: 12, WriteEvery: 4, WriteBatch: 2, ReloadAt: 6, ReloadSize: 20},
+			{Name: "federation-flap", Kind: KindFederation, Ops: 6},
+		},
+	}
+}
+
+// TestRunReplayDeterministic is the acceptance-criteria determinism
+// test: the same scenario replayed twice (fresh world each time)
+// produces byte-identical op logs, and the report covers every phase
+// with real measurements.
+func TestRunReplayDeterministic(t *testing.T) {
+	spec := tinySpec()
+	var logs [2]bytes.Buffer
+	var reports [2]*Report
+	for i := 0; i < 2; i++ {
+		w, err := NewWorld(spec.Dataset, spec.Seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := Run(context.Background(), spec, w.Target, RunOptions{OpLog: &logs[i]})
+		w.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		reports[i] = rep
+	}
+	if !bytes.Equal(logs[0].Bytes(), logs[1].Bytes()) {
+		t.Fatal("op logs differ between replays of the same scenario")
+	}
+	if logs[0].Len() == 0 {
+		t.Fatal("empty op log")
+	}
+
+	rep := reports[0]
+	if len(rep.Phases) != len(spec.Phases) {
+		t.Fatalf("phases = %d, want %d", len(rep.Phases), len(spec.Phases))
+	}
+	for _, p := range rep.Phases {
+		if p.Ops == 0 || p.P50Ns <= 0 || p.P99Ns < p.P50Ns || p.P999Ns < p.P99Ns || p.MaxNs < p.P999Ns {
+			t.Errorf("phase %q: implausible percentiles %+v", p.Name, p)
+		}
+		if p.Throughput <= 0 {
+			t.Errorf("phase %q: throughput = %v", p.Name, p.Throughput)
+		}
+		if p.Outcomes["ok"] == 0 {
+			t.Errorf("phase %q: no successful ops: %v", p.Name, p.Outcomes)
+		}
+	}
+	// The hot phase repeats head queries verbatim; all must succeed.
+	if got := rep.Phases[0].Outcomes["ok"]; got != spec.Phases[0].Ops {
+		t.Errorf("hot phase ok = %d, want %d (outcomes %v)", got, spec.Phases[0].Ops, rep.Phases[0].Outcomes)
+	}
+	// The mixed phase's writes and reload must have landed.
+	if got := reports[0].Phases[3].Outcomes["ok"]; got != spec.Phases[3].Ops {
+		t.Errorf("mixed phase ok = %d, want %d (outcomes %v)", got, spec.Phases[3].Ops, reports[0].Phases[3].Outcomes)
+	}
+}
+
+func TestBenchJSONShape(t *testing.T) {
+	rep := &Report{
+		Scenario: "tiny", Seed: 7, Dataset: "small",
+		Phases: []PhaseResult{
+			{Name: "hot-cache", Kind: KindHot, Ops: 16, Throughput: 123.4,
+				P50Ns: 100, P90Ns: 200, P99Ns: 300, P999Ns: 400, MaxNs: 500},
+			{Name: "qald", Kind: KindQALD, Ops: 6, Throughput: 9.9,
+				P50Ns: 1000, P90Ns: 1500, P99Ns: 2000, P999Ns: 2500, MaxNs: 3000},
+		},
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_serving.json")
+	if err := rep.WriteBenchJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var f struct {
+		Note       string `json:"note"`
+		Benchmarks map[string]struct {
+			NsPerOp float64 `json:"ns_per_op"`
+			Runs    int     `json:"runs"`
+		} `json:"benchmarks"`
+	}
+	if err := json.Unmarshal(data, &f); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"Serving/hot-cache/p50", "Serving/hot-cache/p99", "Serving/hot-cache/p999",
+		"Serving/hot-cache/throughput", "Serving/qald/p50", "Serving/qald/throughput",
+	} {
+		if _, ok := f.Benchmarks[want]; !ok {
+			t.Errorf("missing bench row %q", want)
+		}
+	}
+	if got := f.Benchmarks["Serving/hot-cache/p99"].NsPerOp; got != 300 {
+		t.Errorf("p99 row = %v, want 300", got)
+	}
+	if got := f.Benchmarks["Serving/hot-cache/throughput"].NsPerOp; got != 123.4 {
+		t.Errorf("throughput row = %v, want 123.4", got)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	sorted := []int64{10, 20, 30, 40, 50, 60, 70, 80, 90, 100}
+	cases := []struct {
+		q    float64
+		want int64
+	}{{0.50, 50}, {0.90, 90}, {0.99, 100}, {0.999, 100}, {0.10, 10}}
+	for _, tc := range cases {
+		if got := percentile(sorted, tc.q); got != tc.want {
+			t.Errorf("percentile(%v) = %d, want %d", tc.q, got, tc.want)
+		}
+	}
+	if got := percentile([]int64{42}, 0.5); got != 42 {
+		t.Errorf("single-element percentile = %d", got)
+	}
+}
+
+func TestMergeBest(t *testing.T) {
+	mk := func(p50, p99 int64, tput, wall float64) *Report {
+		return &Report{
+			Scenario: "s", Seed: 1, Dataset: "small",
+			Phases: []PhaseResult{{
+				Name: "hot-cache", Kind: KindHot, Ops: 10,
+				WallSeconds: wall, Throughput: tput,
+				P50Ns: p50, P99Ns: p99, P999Ns: p99, MaxNs: p99,
+			}},
+		}
+	}
+	merged := MergeBest(mk(200, 900, 100, 0.10), mk(150, 1200, 140, 0.07), mk(300, 800, 90, 0.11))
+	p := merged.Phases[0]
+	if p.P50Ns != 150 {
+		t.Errorf("merged p50 = %d, want min 150", p.P50Ns)
+	}
+	if p.P99Ns != 800 {
+		t.Errorf("merged p99 = %d, want min 800", p.P99Ns)
+	}
+	if p.Throughput != 140 {
+		t.Errorf("merged throughput = %v, want max 140", p.Throughput)
+	}
+	if p.WallSeconds != 0.07 {
+		t.Errorf("merged wall = %v, want the max-throughput run's 0.07", p.WallSeconds)
+	}
+
+	// A zero percentile (phase with no successful ops in one run) never
+	// replaces a real measurement.
+	zero := mk(0, 0, 0, 0)
+	merged = MergeBest(mk(200, 900, 100, 0.10), zero)
+	if merged.Phases[0].P50Ns != 200 || merged.Phases[0].P99Ns != 900 {
+		t.Errorf("zero-run percentiles overwrote real ones: %+v", merged.Phases[0])
+	}
+	if merged.Phases[0].Throughput != 100 {
+		t.Errorf("zero throughput overwrote real one: %v", merged.Phases[0].Throughput)
+	}
+
+	if MergeBest() != nil {
+		t.Error("MergeBest() of nothing should be nil")
+	}
+	one := mk(5, 6, 7, 8)
+	got := MergeBest(one)
+	if got.Phases[0].P50Ns != 5 || got.Phases[0].Throughput != 7 {
+		t.Errorf("single-report merge changed the phase: %+v", got.Phases[0])
+	}
+}

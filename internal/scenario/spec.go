@@ -1,0 +1,190 @@
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// SpecVersion is the scenario format this package reads and writes.
+// Parsing rejects other versions: a spec is a replayable artifact, and
+// silently reinterpreting an old file under new semantics would change
+// the traffic it describes.
+const SpecVersion = 1
+
+// Phase kinds. Each generates a different deterministic op stream; see
+// GenOps for exactly what each kind sends.
+const (
+	KindHot        = "hot"        // zipf-skewed repeats over a small query pool
+	KindOrderBy    = "orderby"    // paginated ORDER BY ?n walks per class
+	KindQALD       = "qald"       // the QALD-style gold queries, round-robin
+	KindMixed      = "mixed"      // reads + periodic writes + one bulk reload
+	KindFederation = "federation" // federated queries with a flapping member
+)
+
+// Spec is a versioned, declarative traffic scenario. All randomness in
+// the generated traffic derives from Seed, so the same spec produces
+// the identical op sequence on every run.
+type Spec struct {
+	Name    string  `json:"name"`
+	Version int     `json:"version"`
+	Seed    int64   `json:"seed"`
+	Dataset string  `json:"dataset"` // "small" | "default"
+	Clients int     `json:"clients"` // concurrent workers per phase (phase can override)
+	Phases  []Phase `json:"phases"`
+}
+
+// Phase is one segment of the scenario: Ops requests of one Kind.
+type Phase struct {
+	Name    string `json:"name"`
+	Kind    string `json:"kind"`
+	Ops     int    `json:"ops"`
+	Clients int    `json:"clients,omitempty"` // 0 = inherit Spec.Clients
+
+	// KindHot knobs: the hot pool size and the zipf skew exponent
+	// (s > 1; larger = hotter head). Zero values select 20 and 1.2.
+	HotPool int     `json:"hot_pool,omitempty"`
+	ZipfS   float64 `json:"zipf_s,omitempty"`
+
+	// KindOrderBy knob: rows per page (zero selects 10).
+	PageSize int `json:"page_size,omitempty"`
+
+	// KindMixed knobs: every WriteEvery-th op is a write of WriteBatch
+	// fresh triples (zeros select 10 and 5); at op index ReloadAt the
+	// stream carries one bulk reload of ReloadSize triples (zeros
+	// select Ops/2 and 200).
+	WriteEvery int `json:"write_every,omitempty"`
+	WriteBatch int `json:"write_batch,omitempty"`
+	ReloadAt   int `json:"reload_at,omitempty"`
+	ReloadSize int `json:"reload_size,omitempty"`
+}
+
+// Validate checks the spec is well-formed and of the supported version.
+func (s *Spec) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("scenario: missing name")
+	}
+	if s.Version != SpecVersion {
+		return fmt.Errorf("scenario %s: version %d, this binary speaks %d", s.Name, s.Version, SpecVersion)
+	}
+	if s.Dataset != "small" && s.Dataset != "default" {
+		return fmt.Errorf("scenario %s: dataset %q (want small or default)", s.Name, s.Dataset)
+	}
+	if s.Clients < 1 {
+		return fmt.Errorf("scenario %s: clients %d", s.Name, s.Clients)
+	}
+	if len(s.Phases) == 0 {
+		return fmt.Errorf("scenario %s: no phases", s.Name)
+	}
+	seen := map[string]bool{}
+	for i, p := range s.Phases {
+		if p.Name == "" {
+			return fmt.Errorf("scenario %s: phase %d has no name", s.Name, i)
+		}
+		if seen[p.Name] {
+			return fmt.Errorf("scenario %s: duplicate phase %q", s.Name, p.Name)
+		}
+		seen[p.Name] = true
+		switch p.Kind {
+		case KindHot, KindOrderBy, KindQALD, KindMixed, KindFederation:
+		default:
+			return fmt.Errorf("scenario %s: phase %q has unknown kind %q", s.Name, p.Name, p.Kind)
+		}
+		if p.Ops < 1 {
+			return fmt.Errorf("scenario %s: phase %q: ops %d", s.Name, p.Name, p.Ops)
+		}
+		if p.Kind == KindMixed && p.ReloadAt >= p.Ops {
+			return fmt.Errorf("scenario %s: phase %q: reload_at %d beyond ops %d", s.Name, p.Name, p.ReloadAt, p.Ops)
+		}
+	}
+	return nil
+}
+
+// clients resolves the worker count for a phase.
+func (s *Spec) clients(p Phase) int {
+	if p.Clients > 0 {
+		return p.Clients
+	}
+	return s.Clients
+}
+
+// ParseSpec decodes and validates a JSON scenario.
+func ParseSpec(data []byte) (*Spec, error) {
+	var s Spec
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// Load reads a scenario spec from a JSON file.
+func Load(path string) (*Spec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return ParseSpec(data)
+}
+
+// servingPhases is the canonical five-phase shape both builtins share —
+// same phase names, so one SLO baseline covers smoke and full runs —
+// scaled by per-phase op counts.
+func servingPhases(hot, orderby, qaldOps, mixed, fed int) []Phase {
+	return []Phase{
+		{Name: "hot-cache", Kind: KindHot, Ops: hot, HotPool: 20, ZipfS: 1.2},
+		{Name: "orderby-walk", Kind: KindOrderBy, Ops: orderby, PageSize: 10},
+		{Name: "qald", Kind: KindQALD, Ops: qaldOps},
+		{Name: "mixed-reload", Kind: KindMixed, Ops: mixed,
+			WriteEvery: 10, WriteBatch: 5, ReloadAt: mixed / 2, ReloadSize: 200},
+		{Name: "federation-flap", Kind: KindFederation, Ops: fed},
+	}
+}
+
+// Smoke is the CI scenario: every phase kind, small op counts, the
+// small dataset. Fast enough to run on every push; the SLO baseline is
+// recorded against exactly this spec.
+func Smoke() *Spec {
+	return &Spec{
+		Name: "smoke", Version: SpecVersion, Seed: 42,
+		Dataset: "small", Clients: 4,
+		Phases: servingPhases(120, 60, 50, 80, 30),
+	}
+}
+
+// Serving is the full serving scenario: the same five phases at
+// measurement scale on the default dataset.
+func Serving() *Spec {
+	return &Spec{
+		Name: "serving", Version: SpecVersion, Seed: 42,
+		Dataset: "default", Clients: 8,
+		Phases: servingPhases(800, 400, 250, 400, 120),
+	}
+}
+
+// builtins maps scenario names to their constructors.
+var builtins = map[string]func() *Spec{
+	"smoke":   Smoke,
+	"serving": Serving,
+}
+
+// Builtin returns a named built-in scenario, or nil.
+func Builtin(name string) *Spec {
+	if f, ok := builtins[name]; ok {
+		return f()
+	}
+	return nil
+}
+
+// Names lists the built-in scenario names, sorted.
+func Names() []string {
+	var names []string
+	for n := range builtins {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
