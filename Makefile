@@ -35,7 +35,10 @@
 #   make crashtest      - long crash-recovery fault-injection sweep (512 random
 #                         offsets per fault mode on top of the strided sweep;
 #                         CI runs a 64-seed smoke setting)
-#   make vet            - static analysis only
+#   make vet            - stock go vet only
+#   make lint           - sapphire-vet: stock go vet plus the repo's own
+#                         contract analyzers (pinlock, atomicfield, errcode,
+#                         pinnedbudget, unchecked — see docs/STATIC_ANALYSIS.md)
 
 GO ?= go
 BENCH_OUT := BENCH_$(shell date +%Y-%m-%d).txt
@@ -76,7 +79,7 @@ SERVING_SLO_THRESHOLD := 0.75
 # step changes (a doubled p99) clear this floor comfortably.
 SERVING_SLO_SLACK_NS := 500000
 
-.PHONY: all test vet fmt race fuzz crashtest bench bench-endpoint bench-ci bench-gate bench-baseline build bench-serving bench-serving-ci bench-serving-gate bench-serving-baseline
+.PHONY: all test vet lint fmt race fuzz crashtest bench bench-endpoint bench-ci bench-gate bench-baseline build bench-serving bench-serving-ci bench-serving-gate bench-serving-baseline
 
 all: build test
 
@@ -85,6 +88,9 @@ build:
 
 vet:
 	$(GO) vet ./...
+
+lint:
+	$(GO) run ./cmd/sapphire-vet ./...
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi

@@ -1,0 +1,104 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// TestBenchRowsInSync pins the three places the headline benchmark set
+// lives — this binary's defaultRequired, the Makefile's
+// BENCH_CI_PATTERN (what bench-ci actually runs), and the checked-in
+// bench_baseline.json (what the gate compares against) — to one
+// another. Drift between them un-gates benchmarks silently: a family in
+// defaultRequired that bench-ci never runs fails every PR, and a family
+// bench-ci runs but the gate does not require can regress unnoticed.
+func TestBenchRowsInSync(t *testing.T) {
+	required := splitList(defaultRequired)
+	sort.Strings(required)
+
+	makefile := makefileFamilies(t)
+	sort.Strings(makefile)
+
+	if strings.Join(required, ",") != strings.Join(makefile, ",") {
+		t.Errorf("defaultRequired and Makefile BENCH_CI_PATTERN disagree:\n gate: %v\n make: %v",
+			required, makefile)
+	}
+
+	rows := baselineRows(t)
+	// Every baseline row must belong to a required family (the baseline
+	// is produced by the bench-ci pattern, so a stray row means the
+	// baseline was refreshed against a different benchmark set)...
+	for _, row := range rows {
+		if familyOf(row, required) == "" {
+			t.Errorf("bench_baseline.json row %q matches no required family", row)
+		}
+	}
+	// ...and every required family must be backed by at least one
+	// baseline row, or its gate entry is vacuous: compare mode only
+	// insists on rows present in the baseline, so an empty family would
+	// let the benchmark vanish without failing CI.
+	for _, fam := range required {
+		backed := false
+		for _, row := range rows {
+			if familyOf(row, []string{fam}) != "" {
+				backed = true
+				break
+			}
+		}
+		if !backed {
+			t.Errorf("required family %q has no row in bench_baseline.json — its gate is vacuous", fam)
+		}
+	}
+}
+
+// makefileFamilies extracts the alternation out of the Makefile's
+// BENCH_CI_PATTERN := ^(A|B|...)$$ line.
+func makefileFamilies(t *testing.T) []string {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join("..", "..", "Makefile"))
+	if err != nil {
+		t.Fatalf("reading Makefile: %v", err)
+	}
+	re := regexp.MustCompile(`(?m)^BENCH_CI_PATTERN\s*:=\s*\^\(([^)]*)\)\$\$\s*$`)
+	m := re.FindSubmatch(data)
+	if m == nil {
+		t.Fatal("Makefile has no `BENCH_CI_PATTERN := ^(...)$$` line — the bench-ci target moved, update this test")
+	}
+	return strings.Split(string(m[1]), "|")
+}
+
+// baselineRows returns the benchmark names recorded in the checked-in
+// baseline.
+func baselineRows(t *testing.T) []string {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join("..", "..", "bench_baseline.json"))
+	if err != nil {
+		t.Fatalf("reading bench_baseline.json: %v", err)
+	}
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		t.Fatalf("decoding bench_baseline.json: %v", err)
+	}
+	rows := make([]string, 0, len(f.Benchmarks))
+	for name := range f.Benchmarks {
+		rows = append(rows, name)
+	}
+	sort.Strings(rows)
+	return rows
+}
+
+// familyOf returns the family a row belongs to: the row names the
+// family itself or a sub-benchmark under it.
+func familyOf(row string, families []string) string {
+	for _, fam := range families {
+		if row == fam || strings.HasPrefix(row, fam+"/") {
+			return fam
+		}
+	}
+	return ""
+}

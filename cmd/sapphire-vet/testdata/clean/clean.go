@@ -1,0 +1,10 @@
+// Package clean is the control fixture: code that honors every
+// contract, over which sapphire-vet must exit zero.
+package clean
+
+import "fmt"
+
+// Greet does nothing contract-relevant.
+func Greet(name string) string {
+	return fmt.Sprintf("hello, %s", name)
+}

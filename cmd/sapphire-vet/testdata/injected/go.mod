@@ -1,0 +1,3 @@
+module injected
+
+go 1.24

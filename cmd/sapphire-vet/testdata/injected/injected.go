@@ -1,0 +1,21 @@
+// Package injected carries a deliberate pinlock violation. The
+// sapphire-vet test chdirs into this module and asserts the gate exits
+// nonzero — the proof that a contract violation cannot slip through
+// `make lint` or the CI lint job.
+package injected
+
+import "injected/store"
+
+// ScanAndProbe calls a lock-acquiring accessor from inside a MatchIDs
+// callback: exactly the nested-lock deadlock internal/store/doc.go
+// forbids.
+func ScanAndProbe(s *store.Store) int {
+	hits := 0
+	s.MatchIDs(0, 0, 0, func(sub, pred, obj uint32) bool {
+		if _, ok := s.Lookup("probe"); ok {
+			hits++
+		}
+		return true
+	})
+	return hits
+}

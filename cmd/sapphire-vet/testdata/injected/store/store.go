@@ -1,0 +1,20 @@
+// Package store is the same miniature stand-in for
+// sapphire/internal/store the analyzer golden tests use, here so the
+// injected-violation module compiles on its own.
+package store
+
+// Triple mirrors rdf.Triple just enough for signatures.
+type Triple struct{ S, P, O string }
+
+// Store mirrors the locking surface of the real store.Store.
+type Store struct{}
+
+func (s *Store) Lookup(t string) (uint32, bool) { return 0, false }
+
+func (s *Store) Match(sub, pred, obj string, fn func(Triple) bool) {}
+
+func (s *Store) MatchIDs(sub, pred, obj uint32, fn func(s, p, o uint32) bool) {}
+
+func (s *Store) ResolveID(id uint32) string { return "" }
+
+func (s *Store) PinRead() (release func()) { return func() {} }

@@ -1,0 +1,168 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// ErrCode enforces the closed error-code protocol of
+// internal/endpoint/errors.go (documented in docs/SERVING.md): the
+// wire envelope's `code` field may only carry one of the declared
+// Code* constants, and every declared code must actually be mapped —
+// it must appear as a case in at least one code-classification switch
+// (the server's statusForCode, the client's envelope classification),
+// so a code can be neither invented at a call site nor declared and
+// forgotten.
+//
+// Concretely, in any package that declares package-level string
+// constants named Code*:
+//
+//   - an argument to a parameter named `code`, a `Code:` field of an
+//     APIError composite literal, and a case expression in a switch
+//     over a code value must be one of the declared constants' values;
+//   - each declared constant must appear in at least one such switch's
+//     case list.
+//
+// Packages that declare no Code* constants are not checked.
+var ErrCode = &Analyzer{
+	Name: "errcode",
+	Doc:  "error-envelope codes must come from the closed declared set, and every declared code must be mapped",
+	Run:  runErrCode,
+}
+
+func runErrCode(pass *Pass) error {
+	info := pass.TypesInfo
+
+	// The declared set: package-level string constants named Code*.
+	declared := map[string]*types.Const{} // value -> const
+	var declaredOrder []*types.Const
+	scope := pass.Pkg.Scope()
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !strings.HasPrefix(name, "Code") || name == "Code" {
+			continue
+		}
+		if c.Val().Kind() != constant.String {
+			continue
+		}
+		declared[constant.StringVal(c.Val())] = c
+		declaredOrder = append(declaredOrder, c)
+	}
+	if len(declared) == 0 {
+		return nil
+	}
+	sort.Slice(declaredOrder, func(i, j int) bool { return declaredOrder[i].Pos() < declaredOrder[j].Pos() })
+
+	names := func() string {
+		var ns []string
+		for _, c := range declaredOrder {
+			ns = append(ns, c.Name())
+		}
+		return strings.Join(ns, ", ")
+	}
+
+	// checkCodeExpr flags e when it is a compile-time string constant
+	// outside the declared value set.
+	checkCodeExpr := func(e ast.Expr, where string) {
+		tv, ok := info.Types[e]
+		if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+			return
+		}
+		v := constant.StringVal(tv.Value)
+		if _, ok := declared[v]; !ok {
+			pass.Reportf(e.Pos(),
+				"%q %s is not in the closed error-code set (%s) — add a Code constant and its mappings, or use an existing one (internal/endpoint/errors.go, docs/SERVING.md)",
+				v, where, names())
+		}
+	}
+
+	// isCodeTag reports whether a switch tag is a code value: an
+	// identifier (parameter/variable) named `code`, or a selector for a
+	// field/method named `Code`.
+	isCodeTag := func(tag ast.Expr) bool {
+		switch t := ast.Unparen(tag).(type) {
+		case *ast.Ident:
+			return t.Name == "code"
+		case *ast.SelectorExpr:
+			return t.Sel.Name == "Code"
+		}
+		return false
+	}
+
+	mapped := map[*types.Const]bool{} // declared consts seen in a mapping switch
+
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				// Arguments to parameters named "code".
+				f := calleeFunc(info, n)
+				if f == nil {
+					return true
+				}
+				sig, ok := f.Type().(*types.Signature)
+				if !ok {
+					return true
+				}
+				for i, arg := range n.Args {
+					if i >= sig.Params().Len() {
+						break
+					}
+					if sig.Params().At(i).Name() == "code" {
+						checkCodeExpr(arg, "passed as the `code` argument of "+f.Name())
+					}
+				}
+			case *ast.CompositeLit:
+				// APIError{Code: ...}.
+				tn, ok := named(info.TypeOf(n))
+				if !ok || tn.Obj().Name() != "APIError" {
+					return true
+				}
+				for _, el := range n.Elts {
+					kv, ok := el.(*ast.KeyValueExpr)
+					if !ok {
+						continue
+					}
+					if k, ok := kv.Key.(*ast.Ident); ok && k.Name == "Code" {
+						checkCodeExpr(kv.Value, "assigned to APIError.Code")
+					}
+				}
+			case *ast.SwitchStmt:
+				if n.Tag == nil || !isCodeTag(n.Tag) {
+					return true
+				}
+				for _, cc := range n.Body.List {
+					clause, ok := cc.(*ast.CaseClause)
+					if !ok {
+						continue
+					}
+					for _, e := range clause.List {
+						checkCodeExpr(e, "as a case in a code switch")
+						if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+							if c, ok := info.Uses[id].(*types.Const); ok {
+								for _, dc := range declaredOrder {
+									if dc == c {
+										mapped[c] = true
+									}
+								}
+							}
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	for _, c := range declaredOrder {
+		if !mapped[c] {
+			pass.Reportf(c.Pos(),
+				"declared error code %s appears in no code-mapping switch (statusForCode / client classification) — every code in the closed set needs a status and a client-side meaning (internal/endpoint/errors.go)",
+				c.Name())
+		}
+	}
+	return nil
+}

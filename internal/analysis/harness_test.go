@@ -1,0 +1,120 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// runWant is the golden-fixture driver (the analysistest pattern): it
+// loads testdata/src/<pkgPath>, runs the analyzers, and matches the
+// diagnostics 1:1 against `// want` comments. Each want comment holds
+// one or more backquoted regexps that must each match exactly one
+// diagnostic on the comment's line; diagnostics on lines without a
+// matching want, and wants no diagnostic matched, both fail the test.
+func runWant(t *testing.T, pkgPath string, analyzers ...*Analyzer) {
+	t.Helper()
+	pkg, err := LoadDir(filepath.Join("testdata", "src"), pkgPath)
+	if err != nil {
+		t.Fatalf("load fixture %s: %v", pkgPath, err)
+	}
+	diags, err := Run(pkg, analyzers)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+
+	type key struct {
+		file string
+		line int
+	}
+	wants := map[key][]*regexp.Regexp{}
+	for _, f := range pkg.Files {
+		for k, res := range collectWants(t, pkg.Fset, f) {
+			wants[key(k)] = append(wants[key(k)], res...)
+		}
+	}
+
+	for _, d := range diags {
+		p := pkg.Fset.Position(d.Pos)
+		k := key{p.Filename, p.Line}
+		matched := -1
+		for i, re := range wants[k] {
+			if re.MatchString(d.Message) {
+				matched = i
+				break
+			}
+		}
+		if matched < 0 {
+			t.Errorf("unexpected diagnostic at %s: %s: %s", p, d.Analyzer, d.Message)
+			continue
+		}
+		wants[k] = append(wants[k][:matched], wants[k][matched+1:]...)
+	}
+	for k, res := range wants {
+		for _, re := range res {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", k.file, k.line, re)
+		}
+	}
+}
+
+type wantKey struct {
+	file string
+	line int
+}
+
+// collectWants parses `// want` comments: everything after the marker
+// is a sequence of backquoted regexps.
+func collectWants(t *testing.T, fset *token.FileSet, f *ast.File) map[wantKey][]*regexp.Regexp {
+	t.Helper()
+	out := map[wantKey][]*regexp.Regexp{}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimPrefix(c.Text, "//")
+			text = strings.TrimSpace(text)
+			if !strings.HasPrefix(text, "want ") {
+				continue
+			}
+			rest := strings.TrimPrefix(text, "want ")
+			p := fset.Position(c.Pos())
+			k := wantKey{p.Filename, p.Line}
+			for {
+				rest = strings.TrimSpace(rest)
+				if rest == "" {
+					break
+				}
+				if rest[0] != '`' {
+					t.Fatalf("%s: malformed want comment (expected backquoted regexp): %s", p, c.Text)
+				}
+				end := strings.IndexByte(rest[1:], '`')
+				if end < 0 {
+					t.Fatalf("%s: unterminated regexp in want comment: %s", p, c.Text)
+				}
+				pat := rest[1 : 1+end]
+				re, err := regexp.Compile(pat)
+				if err != nil {
+					t.Fatalf("%s: bad want regexp %q: %v", p, pat, err)
+				}
+				out[k] = append(out[k], re)
+				rest = rest[end+2:]
+			}
+			if len(out[k]) == 0 {
+				t.Fatalf("%s: want comment with no regexps: %s", p, c.Text)
+			}
+		}
+	}
+	return out
+}
+
+// diagStrings renders diagnostics for failure messages and the
+// suppression tests.
+func diagStrings(fset *token.FileSet, diags []Diagnostic) []string {
+	var out []string
+	for _, d := range diags {
+		out = append(out, fmt.Sprintf("%s: %s: %s", fset.Position(d.Pos), d.Analyzer, d.Message))
+	}
+	return out
+}

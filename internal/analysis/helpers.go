@@ -1,0 +1,85 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// named unwraps pointers and aliases down to the named type, if any.
+func named(t types.Type) (*types.Named, bool) {
+	for {
+		switch tt := t.(type) {
+		case *types.Pointer:
+			t = tt.Elem()
+		case *types.Alias:
+			t = types.Unalias(tt)
+		case *types.Named:
+			return tt, true
+		default:
+			return nil, false
+		}
+	}
+}
+
+// pkgLastSegment returns the final path segment of the package a type
+// or object was declared in ("" for universe/builtin objects).
+func pkgLastSegment(p *types.Package) string {
+	if p == nil {
+		return ""
+	}
+	path := p.Path()
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}
+
+// calleeFunc resolves the static callee of a call expression to a
+// *types.Func (method or function), or nil for indirect calls through
+// function values, conversions, and builtins.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		f, _ := info.Uses[fun].(*types.Func)
+		return f
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			f, _ := sel.Obj().(*types.Func)
+			return f
+		}
+		// Package-qualified call: pkg.Fn.
+		f, _ := info.Uses[fun.Sel].(*types.Func)
+		return f
+	}
+	return nil
+}
+
+// recvNamed returns the named type of a method's receiver (nil for
+// plain functions), pointer indirection removed.
+func recvNamed(f *types.Func) *types.Named {
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	n, _ := named(sig.Recv().Type())
+	return n
+}
+
+// hasMethod reports whether the method set of t (or *t) includes a
+// method with the given name — used to recognize pin-capable graphs by
+// shape (interfaces declaring PinRead) rather than by import path.
+func hasMethod(t types.Type, name string) bool {
+	if t == nil {
+		return false
+	}
+	for _, typ := range []types.Type{t, types.NewPointer(t)} {
+		ms := types.NewMethodSet(typ)
+		for i := 0; i < ms.Len(); i++ {
+			if ms.At(i).Obj().Name() == name {
+				return true
+			}
+		}
+	}
+	return false
+}

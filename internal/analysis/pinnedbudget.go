@@ -1,0 +1,112 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// PinnedBudget enforces the PR 8 serialization rule
+// (internal/sparql/eval.go Options.Budget, internal/sparql/parallel.go
+// serializedBudget, docs/ARCHITECTURE.md "Parallel evaluation"): with
+// Options.Workers > 1 the Budget callback is charged from several
+// worker goroutines, so the documented contract — "the evaluator
+// serializes the calls, so the callback itself needs no locking" —
+// only holds if every evaluation path obtains the budget through the
+// Options accessor that wraps it in the serializing mutex. A direct
+// read of the raw Budget field anywhere else hands workers the
+// unserialized callback.
+//
+// Mechanically: a selector expression reading the Budget field of an
+// evaluation-options struct (a named struct type `Options` with a
+// func-typed `Budget` field and a `Workers` field) is flagged unless
+// it appears inside a method declared on Options itself — the
+// mutex-guarded accessor and any future siblings. Constructing an
+// Options value (composite literals, which set rather than read the
+// field) is fine from anywhere.
+var PinnedBudget = &Analyzer{
+	Name: "pinnedbudget",
+	Doc:  "Options.Budget may only be read through the serializing Options accessor",
+	Run:  runPinnedBudget,
+}
+
+// isEvalOptions recognizes the evaluator's Options struct by shape, so
+// the check works on both sapphire/internal/sparql and the golden-test
+// fixtures without hard-coding an import path: named "Options", with a
+// func-typed field "Budget" and a field "Workers".
+func isEvalOptions(n *types.Named) bool {
+	if n == nil || n.Obj().Name() != "Options" {
+		return false
+	}
+	st, ok := n.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	var budget, workers bool
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		switch f.Name() {
+		case "Budget":
+			_, isFunc := f.Type().Underlying().(*types.Signature)
+			budget = isFunc
+		case "Workers":
+			workers = true
+		}
+	}
+	return budget && workers
+}
+
+func runPinnedBudget(pass *Pass) error {
+	info := pass.TypesInfo
+
+	// enclosingOptionsMethod positions: compute per file the ranges of
+	// methods declared on an Options type.
+	type span struct{ lo, hi int }
+	var optionsMethods []span
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Body == nil {
+				continue
+			}
+			obj, _ := info.Defs[fd.Name].(*types.Func)
+			if obj == nil {
+				continue
+			}
+			if isEvalOptions(recvNamed(obj)) {
+				optionsMethods = append(optionsMethods, span{int(fd.Pos()), int(fd.End())})
+			}
+		}
+	}
+	inOptionsMethod := func(pos int) bool {
+		for _, s := range optionsMethods {
+			if pos >= s.lo && pos < s.hi {
+				return true
+			}
+		}
+		return false
+	}
+
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "Budget" {
+				return true
+			}
+			f := fieldOf(info, sel)
+			if f == nil {
+				return true
+			}
+			owner, _ := named(info.TypeOf(sel.X))
+			if !isEvalOptions(owner) {
+				return true
+			}
+			if inOptionsMethod(int(sel.Pos())) {
+				return true
+			}
+			pass.Reportf(sel.Sel.Pos(),
+				"direct Options.Budget read outside an Options method: with Workers > 1 the budget must be serialized first — go through the budgetFor accessor (internal/sparql/parallel.go, ARCHITECTURE.md \"Parallel evaluation\")")
+			return true
+		})
+	}
+	return nil
+}

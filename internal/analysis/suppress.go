@@ -1,0 +1,100 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// suppressPrefix is the marker a source line uses to acknowledge a
+// diagnostic: //sapphire:allow <analyzer> <reason>. The comment applies
+// to findings of that analyzer on its own line (trailing comment) or on
+// the line directly below (a comment line above the flagged statement).
+const suppressPrefix = "//sapphire:allow"
+
+type suppression struct {
+	analyzer string
+	reason   string
+	pos      token.Pos
+	line     int
+	used     bool
+}
+
+// collectSuppressions scans every comment in the files for
+// //sapphire:allow markers.
+func collectSuppressions(fset *token.FileSet, files []*ast.File) []*suppression {
+	var out []*suppression
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				if !strings.HasPrefix(text, suppressPrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(text, suppressPrefix)
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					continue // e.g. //sapphire:allowance — not ours
+				}
+				fields := strings.Fields(rest)
+				s := &suppression{pos: c.Pos(), line: fset.Position(c.Pos()).Line}
+				if len(fields) > 0 {
+					s.analyzer = fields[0]
+					s.reason = strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(rest), fields[0]))
+				}
+				out = append(out, s)
+			}
+		}
+	}
+	return out
+}
+
+// applySuppressions drops findings acknowledged by a well-formed
+// //sapphire:allow comment and reports the malformed ones: a
+// suppression without a non-empty reason does not suppress anything —
+// it becomes a diagnostic itself, so the reason requirement is
+// machine-enforced too.
+func applySuppressions(fset *token.FileSet, files []*ast.File, diags []Diagnostic) []Diagnostic {
+	sups := collectSuppressions(fset, files)
+	if len(sups) == 0 {
+		return diags
+	}
+	// Index by (file, line) the suppression covers. A comment on line L
+	// covers L (trailing form) and L+1 (line-above form).
+	type key struct {
+		file string
+		line int
+	}
+	covered := map[key][]*suppression{}
+	for _, s := range sups {
+		file := fset.Position(s.pos).Filename
+		covered[key{file, s.line}] = append(covered[key{file, s.line}], s)
+		covered[key{file, s.line + 1}] = append(covered[key{file, s.line + 1}], s)
+	}
+
+	var kept []Diagnostic
+	for _, d := range diags {
+		p := fset.Position(d.Pos)
+		match := false
+		for _, s := range covered[key{p.Filename, p.Line}] {
+			if s.analyzer != d.Analyzer || s.reason == "" {
+				continue
+			}
+			s.used = true
+			match = true
+			break
+		}
+		if !match {
+			kept = append(kept, d)
+		}
+	}
+	for _, s := range sups {
+		if s.analyzer == "" || s.reason == "" {
+			kept = append(kept, Diagnostic{
+				Pos:      s.pos,
+				Analyzer: "suppression",
+				Message:  "malformed //sapphire:allow: need \"//sapphire:allow <analyzer> <reason>\" with a non-empty reason",
+			})
+		}
+	}
+	return kept
+}

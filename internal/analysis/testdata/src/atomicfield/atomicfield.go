@@ -1,0 +1,48 @@
+// Package atomicfield is the golden fixture for the atomicfield
+// analyzer: fields mixing sync/atomic and plain access.
+package atomicfield
+
+import "sync/atomic"
+
+type counters struct {
+	epoch uint64 // accessed atomically → must be atomic everywhere
+	plain uint64 // never accessed atomically → free to use plainly
+}
+
+func (c *counters) bump() {
+	atomic.AddUint64(&c.epoch, 1)
+}
+
+func (c *counters) loadOK() uint64 {
+	return atomic.LoadUint64(&c.epoch)
+}
+
+func (c *counters) casOK() bool {
+	return atomic.CompareAndSwapUint64(&c.epoch, 0, 1)
+}
+
+func (c *counters) readRace() uint64 {
+	return c.epoch // want `field epoch is accessed via sync/atomic`
+}
+
+func (c *counters) writeRace() {
+	c.epoch = 0 // want `field epoch is accessed via sync/atomic`
+}
+
+func (c *counters) aliasRace() *uint64 {
+	return &c.epoch // want `field epoch is accessed via sync/atomic`
+}
+
+func (c *counters) plainIsFine() uint64 {
+	c.plain++
+	return c.plain
+}
+
+// Typed atomics need no analysis: the type system already forbids
+// plain access.
+type published struct {
+	spine atomic.Pointer[[]int]
+}
+
+func (p *published) swap(v *[]int) { p.spine.Store(v) }
+func (p *published) get() *[]int   { return p.spine.Load() }

@@ -1,0 +1,52 @@
+// Package errcode is the golden fixture for the errcode analyzer: a
+// miniature of internal/endpoint's closed error-code protocol.
+package errcode
+
+// The closed set. CodeGhost is declared but mapped nowhere — the
+// analyzer reports it at the declaration.
+const (
+	CodeParse   = "parse"
+	CodeTimeout = "timeout"
+	CodeGhost   = "ghost" // want `declared error code CodeGhost appears in no code-mapping switch`
+)
+
+// APIError mirrors the endpoint's wire error.
+type APIError struct {
+	Code    string
+	Message string
+}
+
+// statusForCode is a server-side mapping switch: its tag is the
+// parameter named code.
+func statusForCode(code string) int {
+	switch code {
+	case CodeParse:
+		return 400
+	case CodeTimeout:
+		return 503
+	case "im_a_teapot": // want `"im_a_teapot" as a case in a code switch is not in the closed error-code set`
+		return 418
+	}
+	return 500
+}
+
+// classify is a client-side mapping switch over APIError.Code.
+func classify(e *APIError) bool {
+	switch e.Code {
+	case CodeTimeout:
+		return true
+	}
+	return false
+}
+
+func writeError(code, message string) {
+	_ = statusForCode(code)
+}
+
+func emitters() {
+	writeError(CodeParse, "bad query")
+	writeError("parse", "literal, but in the set: allowed")
+	writeError("parse_error", "x") // want `"parse_error" passed as the .code. argument of writeError`
+	_ = &APIError{Code: CodeTimeout, Message: "ok"}
+	_ = &APIError{Code: "whoops", Message: "y"} // want `"whoops" assigned to APIError.Code is not in the closed error-code set`
+}

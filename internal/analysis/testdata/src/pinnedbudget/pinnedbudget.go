@@ -1,0 +1,68 @@
+// Package pinnedbudget is the golden fixture for the pinnedbudget
+// analyzer: a miniature of sparql.Options and its serializing accessor.
+package pinnedbudget
+
+import "sync"
+
+// Budget mirrors sparql.Budget.
+type Budget func() error
+
+// Options mirrors sparql.Options closely enough for the analyzer's
+// shape test (named Options, func-typed Budget field, Workers field).
+type Options struct {
+	Budget  Budget
+	Workers int
+}
+
+// budgetFor is the one sanctioned reader: an Options method may touch
+// the raw field because it is the accessor that serializes it.
+func (o Options) budgetFor(parallel bool) Budget {
+	b := o.Budget
+	if parallel && b != nil {
+		b = serialized(b)
+	}
+	return b
+}
+
+func serialized(b Budget) Budget {
+	var mu sync.Mutex
+	return func() error {
+		mu.Lock()
+		defer mu.Unlock()
+		return b()
+	}
+}
+
+func evalGood(o Options) error {
+	b := o.budgetFor(o.Workers > 1)
+	if b != nil {
+		return b()
+	}
+	return nil
+}
+
+func evalBad(o Options) error {
+	b := o.Budget // want `direct Options.Budget read outside an Options method`
+	if b != nil {
+		return b()
+	}
+	return nil
+}
+
+func chargeDirect(o *Options) error {
+	return o.Budget() // want `direct Options.Budget read outside an Options method`
+}
+
+// Constructing an Options value sets the field; only reads bypass the
+// accessor.
+func construct(b Budget) Options {
+	return Options{Budget: b, Workers: 4}
+}
+
+// An unrelated Options type (no Workers knob) is someone else's
+// business.
+type otherOptions struct {
+	Budget func() error
+}
+
+func otherIsFine(o otherOptions) error { return o.Budget() }

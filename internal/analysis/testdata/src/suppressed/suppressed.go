@@ -1,0 +1,18 @@
+// Package suppressed exercises the //sapphire:allow machinery: a
+// well-formed suppression (analyzer name + non-empty reason) silences
+// the finding on its own line or the line below; an empty reason
+// silences nothing and is itself reported.
+package suppressed
+
+import "store"
+
+func run(s *store.Store) {
+	s.MatchIDs(0, 0, 0, func(a, b, c uint32) bool {
+		//sapphire:allow pinlock single-writer bootstrap path, no writer can queue (store/doc.go "ID-level API contract")
+		s.Lookup("line-above form")
+		s.Count("", "", "") //sapphire:allow pinlock trailing form, same justification (store/doc.go)
+		//sapphire:allow pinlock
+		s.AddAll(nil)
+		return true
+	})
+}

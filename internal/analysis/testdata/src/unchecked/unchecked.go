@@ -1,0 +1,56 @@
+// Package unchecked is the golden fixture for the unchecked analyzer:
+// discarded Close/Sync errors on a durability-shaped API.
+package unchecked
+
+type file struct{}
+
+func (f *file) Close() error { return nil }
+func (f *file) Sync() error  { return nil }
+func (f *file) Name() string { return "wal.0001" }
+
+type quietFile struct{}
+
+// Close without an error result: nothing to swallow.
+func (q *quietFile) Close() {}
+
+func bad(f *file) {
+	f.Sync()        // want `Sync error discarded`
+	f.Close()       // want `Close error discarded`
+	defer f.Close() // want `Close error discarded by defer`
+}
+
+func good(f *file) error {
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	if cerr := f.Close(); cerr != nil {
+		return cerr
+	}
+	return nil
+}
+
+func deliberate(f *file) {
+	// The explicit blank assignment is the visible acknowledgement;
+	// errcheck-style tools leave it alone and so does this one.
+	_ = f.Close()
+}
+
+func errorless(q *quietFile) {
+	q.Close()
+	_ = q
+}
+
+func notCloseOrSync(f *file) {
+	f.Name()
+}
+
+type walLike struct{ f *file }
+
+func (w *walLike) close() error { return w.f.Close() }
+func (w *walLike) sync() error  { return w.f.Sync() }
+
+func unexportedSpellings(w *walLike) error {
+	w.close() // want `close error discarded`
+	w.sync()  // want `sync error discarded`
+	return w.sync()
+}

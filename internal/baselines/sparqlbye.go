@@ -88,17 +88,24 @@ func (s *SPARQLByE) Answer(_ context.Context, q qald.Question) (qald.AnswerSet, 
 }
 
 // sharedConstraints returns the (p, o) pairs both examples satisfy.
+// The Contains probes run after the Match scan completes: calling a
+// locking accessor from inside the callback would re-enter the shard
+// read locks the scan already holds and deadlock once a writer queues
+// (internal/store/doc.go "ID-level API contract").
 func (s *SPARQLByE) sharedConstraints(a, b rdf.Term) []constraint {
-	var out []constraint
+	var cand []constraint
 	s.Store.Match(a, rdf.Term{}, rdf.Term{}, func(tr rdf.Triple) bool {
-		if tr.O.IsLiteral() {
-			return true // literals (names, dates) are instance-specific
-		}
-		if s.Store.Contains(rdf.Triple{S: b, P: tr.P, O: tr.O}) {
-			out = append(out, constraint{tr.P, tr.O})
+		if !tr.O.IsLiteral() { // literals (names, dates) are instance-specific
+			cand = append(cand, constraint{tr.P, tr.O})
 		}
 		return true
 	})
+	var out []constraint
+	for _, c := range cand {
+		if s.Store.Contains(rdf.Triple{S: b, P: c.p, O: c.o}) {
+			out = append(out, c)
+		}
+	}
 	return out
 }
 
@@ -116,22 +123,29 @@ func (s *SPARQLByE) query(cons []constraint) qald.AnswerSet {
 			best = i
 		}
 	}
-	answers := make(qald.AnswerSet)
+	// Scan first, probe after: the residual Contains checks must not
+	// run inside the Match callback, which holds the scanned shard's
+	// read lock (internal/store/doc.go "ID-level API contract").
+	var subjects []rdf.Term
 	s.Store.Match(rdf.Term{}, cons[best].p, cons[best].o, func(tr rdf.Triple) bool {
+		subjects = append(subjects, tr.S)
+		return true
+	})
+	answers := make(qald.AnswerSet)
+	for _, subj := range subjects {
 		ok := true
 		for i, c := range cons {
 			if i == best {
 				continue
 			}
-			if !s.Store.Contains(rdf.Triple{S: tr.S, P: c.p, O: c.o}) {
+			if !s.Store.Contains(rdf.Triple{S: subj, P: c.p, O: c.o}) {
 				ok = false
 				break
 			}
 		}
 		if ok {
-			answers[tr.S.Value] = true
+			answers[subj.Value] = true
 		}
-		return true
-	})
+	}
 	return answers
 }

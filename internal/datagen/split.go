@@ -51,6 +51,16 @@ func (d *Dataset) Split() (agents, places, works *store.Store) {
 		return true
 	})
 
+	// Precompute the class-entity subjects. isSchema used to probe
+	// d.Store.Contains from inside the full scan's callback, which
+	// re-enters the shard read lock the scan holds and deadlocks once a
+	// writer queues (internal/store/doc.go "ID-level API contract") —
+	// a set lookup keeps the callback lock-free.
+	classSubj := make(map[rdf.Term]bool)
+	d.Store.Match(rdf.Term{}, typ, owlClass, func(tr rdf.Triple) bool {
+		classSubj[tr.S] = true
+		return true
+	})
 	isSchema := func(tr rdf.Triple) bool {
 		if tr.P.Value == rdf.RDFSSubClassOf {
 			return true
@@ -59,15 +69,13 @@ func (d *Dataset) Split() (agents, places, works *store.Store) {
 			return true
 		}
 		// Class entities' own triples (labels, owl:Thing typing).
-		if d.Store.Contains(rdf.Triple{S: tr.S, P: typ, O: owlClass}) {
-			return true
-		}
-		return false
+		return classSubj[tr.S]
 	}
 
 	d.Store.Match(rdf.Term{}, rdf.Term{}, rdf.Term{}, func(tr rdf.Triple) bool {
 		if isSchema(tr) {
 			for _, l := range all {
+				//sapphire:allow pinlock the loaders feed agents/places/works, not the scanned d.Store, so their dict locks are a disjoint domain and cannot form a cycle with the scan's shard read lock (internal/store/doc.go "ID-level API contract")
 				l.MustAdd(tr)
 			}
 			return true
@@ -76,6 +84,7 @@ func (d *Dataset) Split() (agents, places, works *store.Store) {
 		if dst == nil {
 			dst = worksL
 		}
+		//sapphire:allow pinlock dst loads one of the three fresh partition stores, never the scanned d.Store — disjoint lock domain (internal/store/doc.go "ID-level API contract")
 		dst.MustAdd(tr)
 		return true
 	})

@@ -95,6 +95,19 @@ type Options struct {
 	noReorder bool
 }
 
+// budgetFor returns the budget the evaluator should charge: the raw
+// callback when evaluation is serial, the mutex-serialized wrapper when
+// it is parallel. This accessor is the only sanctioned way to read the
+// Budget field at evaluation time — handing the raw callback to
+// concurrent workers would race (the pinnedbudget analyzer in
+// internal/analysis enforces exactly that).
+func (o *Options) budgetFor(parallel bool) Budget {
+	if parallel && o.Budget != nil {
+		return serializedBudget(o.Budget)
+	}
+	return o.Budget
+}
+
 // defaultWorkers is the process-wide intra-query parallelism default
 // used when Options.Workers is 0, settable once at startup via
 // SetDefaultWorkers (the serving commands wire their -parallel flag to

@@ -849,12 +849,9 @@ func runPlan(g Graph, pl *plan, opts Options) (*Results, error) {
 	}
 
 	workers := resolveWorkers(opts.Workers)
-	budget := opts.Budget
 	rg, reentrant := g.(ReentrantGraph)
 	parallel := workers > 1 && reentrant
-	if parallel && budget != nil {
-		budget = serializedBudget(budget)
-	}
+	budget := opts.budgetFor(parallel)
 
 	x := &exec{pl: pl, g: g, budget: budget}
 	if ig, ok := g.(IDGraph); ok {

@@ -5,7 +5,6 @@ import (
 	"encoding/json"
 	"fmt"
 	"hash/crc32"
-	"io"
 	"strings"
 	"sync"
 	"time"
@@ -300,12 +299,7 @@ func (db *DB) recover() (RecoveryInfo, error) {
 	cur := walName(db.gen)
 	switch {
 	case haveWAL && lastWAL == db.gen:
-		rc, err := db.fs.Open(cur)
-		if err != nil {
-			return info, err
-		}
-		data, err := io.ReadAll(rc)
-		rc.Close()
+		data, err := readAll(db.fs, cur)
 		if err != nil {
 			return info, err
 		}
@@ -340,12 +334,7 @@ func (db *DB) recover() (RecoveryInfo, error) {
 // loadGeneration validates and restores one snapshot generation.
 func (db *DB) loadGeneration(gen uint64) (*store.Store, store.SnapshotInfo, error) {
 	var sinfo store.SnapshotInfo
-	rc, err := db.fs.Open(manifestName(gen))
-	if err != nil {
-		return nil, sinfo, err
-	}
-	mdata, err := io.ReadAll(rc)
-	rc.Close()
+	mdata, err := readAll(db.fs, manifestName(gen))
 	if err != nil {
 		return nil, sinfo, err
 	}
@@ -353,12 +342,7 @@ func (db *DB) loadGeneration(gen uint64) (*store.Store, store.SnapshotInfo, erro
 	if err := json.Unmarshal(mdata, &m); err != nil {
 		return nil, sinfo, fmt.Errorf("persist: manifest %d: %w", gen, err)
 	}
-	rc, err = db.fs.Open(snapName(gen))
-	if err != nil {
-		return nil, sinfo, err
-	}
-	sdata, err := io.ReadAll(rc)
-	rc.Close()
+	sdata, err := readAll(db.fs, snapName(gen))
 	if err != nil {
 		return nil, sinfo, err
 	}
@@ -491,16 +475,16 @@ func (db *DB) snapshotLocked() (store.SnapshotInfo, error) {
 	}
 	var buf bytes.Buffer
 	if sinfo, err = db.store.WriteSnapshot(&buf); err != nil {
-		f.Close()
+		_ = f.Close() // error path: the write/sync failure is the one to report
 		return sinfo, err
 	}
 	sdata := buf.Bytes()
 	if _, err := f.Write(sdata); err != nil {
-		f.Close()
+		_ = f.Close()
 		return sinfo, fmt.Errorf("persist: writing snapshot: %w", err)
 	}
 	if err := f.Sync(); err != nil {
-		f.Close()
+		_ = f.Close()
 		return sinfo, fmt.Errorf("persist: syncing snapshot: %w", err)
 	}
 	if err := f.Close(); err != nil {
@@ -515,7 +499,7 @@ func (db *DB) snapshotLocked() (store.SnapshotInfo, error) {
 	}
 	nw.buffered = db.opts.Fsync != FsyncAlways
 	if err := nw.sync(); err != nil {
-		nw.close()
+		_ = nw.close() // error path: the sync failure is the one to report
 		return sinfo, err
 	}
 
@@ -531,40 +515,42 @@ func (db *DB) snapshotLocked() (store.SnapshotInfo, error) {
 	}
 	mdata, err := json.Marshal(m)
 	if err != nil {
-		nw.close()
+		_ = nw.close() // error path: the marshal failure is the one to report
 		return sinfo, err
 	}
 	tmp := manifestName(gen) + tmpSuffix
 	mf, err := db.fs.Create(tmp)
 	if err != nil {
-		nw.close()
+		_ = nw.close()
 		return sinfo, err
 	}
 	if _, err := mf.Write(mdata); err != nil {
-		mf.Close()
-		nw.close()
+		_ = mf.Close()
+		_ = nw.close()
 		return sinfo, fmt.Errorf("persist: writing manifest: %w", err)
 	}
 	if err := mf.Sync(); err != nil {
-		mf.Close()
-		nw.close()
+		_ = mf.Close()
+		_ = nw.close()
 		return sinfo, err
 	}
 	if err := mf.Close(); err != nil {
-		nw.close()
+		_ = nw.close()
 		return sinfo, err
 	}
 	if err := db.fs.Rename(tmp, manifestName(gen)); err != nil {
-		nw.close()
+		_ = nw.close()
 		return sinfo, err
 	}
 	if err := db.fs.SyncDir(); err != nil {
-		nw.close()
+		_ = nw.close()
 		return sinfo, err
 	}
 
-	// 4. Committed: swap in the new WAL and retire old generations.
-	db.wal.close() //nolint:errcheck — superseded
+	// 4. Committed: swap in the new WAL and retire old generations. The
+	// old WAL's contents are captured by the snapshot, so a failing
+	// close of the superseded handle cannot lose data.
+	_ = db.wal.close()
 	db.wal = nw
 	db.gen = gen
 	db.walTriples = 0
@@ -609,7 +595,9 @@ func (db *DB) syncLoop() {
 		case <-t.C:
 			db.mu.Lock()
 			if !db.closed && db.wal != nil {
-				db.wal.sync() //nolint:errcheck — next write surfaces it
+				// Background flush: a failure here is surfaced by the
+				// next Append's sync rather than crashing the loop.
+				_ = db.wal.sync()
 			}
 			db.mu.Unlock()
 		}

@@ -104,8 +104,27 @@ func (fs *osFS) SyncDir() error {
 	if err != nil {
 		return err
 	}
-	defer d.Close()
-	return d.Sync()
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// readAll opens and fully reads name, folding the read-side Close
+// error into the result: even on a read handle a failing close can be
+// the first sign of an I/O problem, and recovery decisions should see
+// it rather than act on silently suspect bytes.
+func readAll(fs FS, name string) ([]byte, error) {
+	rc, err := fs.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	data, err := io.ReadAll(rc)
+	if cerr := rc.Close(); err == nil {
+		err = cerr
+	}
+	return data, err
 }
 
 // MemFS is an in-memory FS for tests: deterministic, fast, and the

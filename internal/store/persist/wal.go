@@ -4,7 +4,6 @@ import (
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
-	"io"
 
 	"sapphire/internal/rdf"
 	"sapphire/internal/store"
@@ -77,7 +76,7 @@ func createWAL(fs FS, name string) (*wal, error) {
 	}
 	w := &wal{f: f, name: name}
 	if _, err := f.Write([]byte(walMagic)); err != nil {
-		f.Close()
+		_ = f.Close() // error path: the write failure is the one to report
 		return nil, fmt.Errorf("persist: writing WAL magic: %w", err)
 	}
 	w.size = int64(len(walMagic))
@@ -201,12 +200,7 @@ type walReplay struct {
 // recreate it). Decoding never panics regardless of file contents.
 func replayWAL(fs FS, name string, s *store.Store) (walReplay, error) {
 	var rep walReplay
-	rc, err := fs.Open(name)
-	if err != nil {
-		return rep, err
-	}
-	data, err := io.ReadAll(rc)
-	rc.Close()
+	data, err := readAll(fs, name)
 	if err != nil {
 		return rep, fmt.Errorf("persist: reading WAL %s: %w", name, err)
 	}
